@@ -1,0 +1,55 @@
+"""Benchmark-suite infrastructure.
+
+Every bench regenerates one table or figure of the paper.  Results are
+printed live (bypassing pytest capture) and archived under
+``benchmarks/results/``.  ``REPRO_BENCH_CYCLES`` scales the measurement
+window of the fixed-horizon benches (default 20000 cycles; the paper used
+1,000,000 -- throughput shapes are stable long before that).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Measurement window for the throughput figures.
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "20000"))
+
+#: Random seed shared by all benches.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+
+
+class Report:
+    """Prints rows live and archives them to a results file."""
+
+    def __init__(self, name: str, capmanager):
+        self.name = name
+        self.capmanager = capmanager
+        RESULTS_DIR.mkdir(exist_ok=True)
+        self.path = RESULTS_DIR / f"{name}.txt"
+        self._lines = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+        if self.capmanager is not None:
+            with self.capmanager.global_and_fixture_disabled():
+                print(text)
+        else:  # pragma: no cover - plain pytest without capture manager
+            print(text)
+
+    def flush(self) -> None:
+        self.path.write_text("\n".join(self._lines) + "\n")
+
+
+@pytest.fixture
+def report(request):
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    rep = Report(request.node.name, capmanager)
+    rep.line("")
+    rep.line("=" * 78)
+    rep.line(f"{request.node.name}")
+    rep.line("=" * 78)
+    yield rep
+    rep.flush()

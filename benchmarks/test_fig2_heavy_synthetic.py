@@ -1,0 +1,67 @@
+"""Figure 2: packets delivered under HEAVY synthetic traffic.
+
+Paper: every node sends each phase (message lengths U[1,5], 8-word packets);
+the metric is packets delivered network-wide in a fixed window, for three
+NIC configurations per network: no NIFDY, buffering only, and NIFDY with the
+per-network best parameters.  The paper's claims, which this bench asserts:
+
+* NIFDY delivers more packets than the bare network interface on every
+  congestible topology;
+* NIFDY is roughly comparable to spending the same buffer budget without
+  the protocol ("comparable to that of having added more buffers"), and
+  ahead of it on the adaptive/blocking-prone networks;
+* these bars do NOT include the in-order payload benefit (Figure 2's
+  caption) -- that shows up in Figures 6-8.
+"""
+
+from repro.experiments import heavy_synthetic, run_experiment
+from repro.networks import NETWORK_NAMES
+
+from conftest import BENCH_CYCLES, BENCH_SEED
+
+MODES = ("plain", "buffered", "nifdy-")
+
+
+def run_figure2():
+    rows = {}
+    for network in NETWORK_NAMES:
+        rows[network] = {
+            mode: run_experiment(
+                network,
+                heavy_synthetic(),
+                num_nodes=64,
+                nic_mode=mode,
+                run_cycles=BENCH_CYCLES,
+                seed=BENCH_SEED,
+            ).delivered
+            for mode in MODES
+        }
+    return rows
+
+
+def test_fig2_heavy_synthetic(benchmark, report):
+    rows = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    report.line(
+        f"Figure 2: packets delivered in {BENCH_CYCLES:,} cycles, heavy traffic"
+    )
+    report.line(f"{'network':16s}{'no NIFDY':>10s}{'buffers':>10s}{'NIFDY':>10s}"
+                f"{'NIFDY/plain':>13s}")
+    for network, row in rows.items():
+        ratio = row["nifdy-"] / row["plain"]
+        report.line(
+            f"{network:16s}{row['plain']:>10,}{row['buffered']:>10,}"
+            f"{row['nifdy-']:>10,}{ratio:>12.2f}x"
+        )
+
+    for network, row in rows.items():
+        # NIFDY at least matches the bare NIC and the buffers-only budget
+        # (small tolerance: runs are finite windows).
+        assert row["nifdy-"] >= 0.93 * row["plain"], network
+        assert row["nifdy-"] >= 0.90 * row["buffered"], network
+    # On the blocking-prone topologies the protocol is a clear win.
+    for network in ("torus2d", "fattree", "multibutterfly"):
+        assert rows[network]["nifdy-"] > 1.15 * rows[network]["plain"], network
+        assert rows[network]["nifdy-"] > 1.10 * rows[network]["buffered"], network
+    # Buffering alone already helps a little over the bare interface.
+    wins = sum(rows[n]["buffered"] >= rows[n]["plain"] for n in rows)
+    assert wins >= 6

@@ -1,0 +1,55 @@
+"""Figure 3: packets delivered under LIGHT synthetic traffic.
+
+Paper: each node sends with probability 1/3 per phase; the message-length
+distribution has a long tail (10- and 20-packet messages), and idle nodes
+periodically ignore the network.  This mainly measures pairwise bandwidth
+with occasional target collisions and unresponsive receivers -- the regime
+where bulk dialogs (window W) matter most.
+"""
+
+from repro.experiments import light_synthetic, run_experiment
+from repro.networks import NETWORK_NAMES
+
+from conftest import BENCH_CYCLES, BENCH_SEED
+
+MODES = ("plain", "buffered", "nifdy-")
+
+
+def run_figure3():
+    rows = {}
+    for network in NETWORK_NAMES:
+        rows[network] = {
+            mode: run_experiment(
+                network,
+                light_synthetic(),
+                num_nodes=64,
+                nic_mode=mode,
+                run_cycles=BENCH_CYCLES,
+                seed=BENCH_SEED,
+            ).delivered
+            for mode in MODES
+        }
+    return rows
+
+
+def test_fig3_light_synthetic(benchmark, report):
+    rows = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    report.line(
+        f"Figure 3: packets delivered in {BENCH_CYCLES:,} cycles, light traffic"
+    )
+    report.line(f"{'network':16s}{'no NIFDY':>10s}{'buffers':>10s}{'NIFDY':>10s}"
+                f"{'NIFDY/plain':>13s}")
+    for network, row in rows.items():
+        ratio = row["nifdy-"] / row["plain"]
+        report.line(
+            f"{network:16s}{row['plain']:>10,}{row['buffered']:>10,}"
+            f"{row['nifdy-']:>10,}{ratio:>12.2f}x"
+        )
+
+    for network, row in rows.items():
+        assert row["nifdy-"] >= 0.95 * row["plain"], network
+        assert row["nifdy-"] >= 0.90 * row["buffered"], network
+    # Long messages + round-trip-limited pairs: the bulk protocol gives
+    # NIFDY the edge over plain on most networks.
+    wins = sum(rows[n]["nifdy-"] > rows[n]["plain"] for n in rows)
+    assert wins >= 6

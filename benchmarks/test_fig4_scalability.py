@@ -1,0 +1,93 @@
+"""Figure 4: NIFDY resources vs machine size (full fat tree).
+
+Paper: "we ran some simulations of the full fat tree, using only short
+messages and no bulk dialogs in order to concentrate on the effects of O
+and B".  Left panel: normalized throughput (vs no NIFDY) for pool sizes B;
+right panel: for OPT sizes O.  Findings asserted here:
+
+* for a fixed B, the relative benefit of NIFDY does not decrease as the
+  machine grows (a designer can size the unit once);
+* larger B helps at every size;
+* a small constant O (= 8) is at or near the best across sizes.
+"""
+
+from repro.experiments import heavy_synthetic, run_experiment
+from repro.nic import NifdyParams
+from repro.traffic import SyntheticConfig
+
+from conftest import BENCH_CYCLES, BENCH_SEED
+
+SIZES = (16, 64, 256)
+B_VALUES = (2, 4, 8)
+O_VALUES = (2, 4, 8)
+CYCLES = max(6000, BENCH_CYCLES // 2)
+
+
+def _traffic():
+    return heavy_synthetic(
+        SyntheticConfig.heavy_traffic(fixed_message_length=1, packets_per_phase=60)
+    )
+
+
+def run_figure4():
+    baseline = {}
+    by_b = {}
+    by_o = {}
+    for size in SIZES:
+        baseline[size] = run_experiment(
+            "fattree", _traffic(), num_nodes=size, nic_mode="plain",
+            run_cycles=CYCLES, seed=BENCH_SEED,
+        ).delivered
+        for b in B_VALUES:
+            params = NifdyParams(opt_size=8, pool_size=b, dialogs=0, window=0)
+            by_b[(size, b)] = run_experiment(
+                "fattree", _traffic(), num_nodes=size, nic_mode="nifdy-",
+                nifdy_params=params, run_cycles=CYCLES, seed=BENCH_SEED,
+            ).delivered
+        for o in O_VALUES:
+            if o == 8:
+                by_o[(size, o)] = by_b[(size, 8)]
+                continue
+            params = NifdyParams(opt_size=o, pool_size=8, dialogs=0, window=0)
+            by_o[(size, o)] = run_experiment(
+                "fattree", _traffic(), num_nodes=size, nic_mode="nifdy-",
+                nifdy_params=params, run_cycles=CYCLES, seed=BENCH_SEED,
+            ).delivered
+    return baseline, by_b, by_o
+
+
+def test_fig4_scalability(benchmark, report):
+    baseline, by_b, by_o = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    report.line(f"Figure 4 (left): normalized throughput vs size, varying B "
+                f"(O=8, no bulk, {CYCLES:,} cycles)")
+    report.line(f"{'nodes':>8s}" + "".join(f"{'B=' + str(b):>10s}" for b in B_VALUES))
+    norm_b = {}
+    for size in SIZES:
+        cells = []
+        for b in B_VALUES:
+            norm_b[(size, b)] = by_b[(size, b)] / baseline[size]
+            cells.append(f"{norm_b[(size, b)]:>10.2f}")
+        report.line(f"{size:>8d}" + "".join(cells))
+
+    report.line("")
+    report.line("Figure 4 (right): normalized throughput vs size, varying O (B=8)")
+    report.line(f"{'nodes':>8s}" + "".join(f"{'O=' + str(o):>10s}" for o in O_VALUES))
+    norm_o = {}
+    for size in SIZES:
+        cells = []
+        for o in O_VALUES:
+            norm_o[(size, o)] = by_o[(size, o)] / baseline[size]
+            cells.append(f"{norm_o[(size, o)]:>10.2f}")
+        report.line(f"{size:>8d}" + "".join(cells))
+
+    # Benefit does not fall off as the machine grows (fixed parameters).
+    for b in B_VALUES:
+        assert norm_b[(256, b)] >= 0.9 * norm_b[(16, b)], f"B={b}"
+    # More pool buffers help (or at least never hurt much) at every size.
+    for size in SIZES:
+        assert norm_b[(size, 8)] >= 0.95 * norm_b[(size, 2)], size
+    # O=8 is at or near the best O at every size.
+    for size in SIZES:
+        best = max(norm_o[(size, o)] for o in O_VALUES)
+        assert norm_o[(size, 8)] >= 0.93 * best, size

@@ -1,0 +1,122 @@
+"""Table 3: characteristics of the simulated 64-node networks and the best
+NIFDY parameters for each.
+
+Left half (measured): volume, bisection bandwidth, hop statistics, and the
+fitted latency formula for all eight networks.  Right half (swept): the
+(O, W) choice that maximises combined heavy+light synthetic throughput,
+compared against the library's tuned defaults.
+
+Structural claims asserted:
+
+* the mesh has the smallest bisection bandwidth, the full fat tree (and
+  butterfly) the largest, the CM-5 variant in between but far below the
+  full tree;
+* restrictive admission (small O) is best on the mesh; generous admission
+  (larger O) on the fat tree -- the paper's central tuning story.
+"""
+
+from repro.analysis import characterize
+from repro.experiments import heavy_synthetic, light_synthetic, run_experiment
+from repro.networks import NETWORK_NAMES
+from repro.nic import NifdyParams
+
+from conftest import BENCH_CYCLES, BENCH_SEED
+
+SWEEP_NETWORKS = ("mesh2d", "fattree")
+O_CHOICES = (2, 4, 8)
+W_CHOICES = (2, 8)
+SWEEP_CYCLES = max(5000, BENCH_CYCLES // 2)
+
+
+def run_table3():
+    rows = {
+        name: characterize(name, 64, hop_sample=400, measure_latency=True)
+        for name in NETWORK_NAMES
+    }
+    sweep = {}
+    for network in SWEEP_NETWORKS:
+        for o in O_CHOICES:
+            for w in W_CHOICES:
+                params = NifdyParams(opt_size=o, pool_size=8, dialogs=1, window=w)
+                total = 0
+                for traffic in (heavy_synthetic(), light_synthetic()):
+                    total += run_experiment(
+                        network, traffic, num_nodes=64, nic_mode="nifdy-",
+                        nifdy_params=params, run_cycles=SWEEP_CYCLES,
+                        seed=BENCH_SEED,
+                    ).delivered
+                sweep[(network, o, w)] = total
+    return rows, sweep
+
+
+def test_table3_characteristics(benchmark, report):
+    rows, sweep = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    report.line("Table 3 (left): measured 64-node network characteristics")
+    report.line(
+        f"{'network':16s}{'volume':>9s}{'bisect':>9s}{'avg d':>7s}{'max d':>7s}"
+        f"{'in-order':>10s}  latency fit"
+    )
+    for name, row in rows.items():
+        report.line(
+            f"{name:16s}{row.volume_words_per_node:>8.1f}w"
+            f"{row.bisection_bytes_per_cycle:>8.1f}B"
+            f"{row.avg_hops:>7.1f}{row.max_hops:>7d}"
+            f"{str(row.delivers_in_order):>10s}  {row.formula()}"
+        )
+    report.line("")
+    report.line(f"Table 3 (right): (O, W) sweep, heavy+light packets in "
+                f"2x{SWEEP_CYCLES:,} cycles")
+    for network in SWEEP_NETWORKS:
+        cells = {
+            (o, w): sweep[(network, o, w)] for o in O_CHOICES for w in W_CHOICES
+        }
+        best = max(cells, key=cells.get)
+        report.line(f"  {network}: best O={best[0]} W={best[1]}")
+        for o in O_CHOICES:
+            report.line(
+                "    " + "".join(
+                    f"O={o} W={w}: {cells[(o, w)]:>6,}   " for w in W_CHOICES
+                )
+            )
+
+    by_name = rows
+    # Bisection ordering: the full fat tree is the widest; the mesh is
+    # narrow; the CM-5 variant (halved trees, 4-bit links) is narrowest.
+    assert (
+        by_name["mesh2d"].bisection_bytes_per_cycle
+        < by_name["fattree"].bisection_bytes_per_cycle
+    )
+    assert (
+        by_name["cm5"].bisection_bytes_per_cycle
+        <= by_name["mesh2d"].bisection_bytes_per_cycle
+    )
+    assert (
+        by_name["cm5"].bisection_bytes_per_cycle
+        < by_name["fattree"].bisection_bytes_per_cycle / 4
+    )
+    # Hop structure: fat tree max 6 (Section 2.4.3), mesh max 14 router hops
+    # (+2 NIC links), butterfly constant distance.
+    assert by_name["fattree"].max_hops == 6
+    # 14 router hops + 2 NIC links; hop_stats samples pairs, so the true
+    # corner-to-corner pair may be skipped.
+    assert 14 <= by_name["mesh2d"].max_hops <= 16
+    assert by_name["butterfly"].avg_hops == by_name["butterfly"].max_hops
+    # Only the single-VC mesh-family and the dilation-1 butterfly deliver
+    # in order by construction.
+    assert by_name["mesh2d"].delivers_in_order
+    assert by_name["butterfly"].delivers_in_order
+    assert not by_name["fattree"].delivers_in_order
+    # Tuning story: on the mesh a small O is at or near the best; on the
+    # fat tree larger O never loses.
+    def best_o(network):
+        return max(
+            ((o, w) for o in O_CHOICES for w in W_CHOICES),
+            key=lambda key: sweep[(network, key[0], key[1])],
+        )[0]
+
+    mesh_best = max(sweep[("mesh2d", o, w)] for o in O_CHOICES for w in W_CHOICES)
+    assert max(
+        sweep[("mesh2d", o, w)] for o in (2, 4) for w in W_CHOICES
+    ) >= 0.95 * mesh_best
+    ft_best = max(sweep[("fattree", o, w)] for o in O_CHOICES for w in W_CHOICES)
+    assert max(sweep[("fattree", 8, w)] for w in W_CHOICES) >= 0.93 * ft_best

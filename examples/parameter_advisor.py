@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Tune NIFDY to a network, the Section 2.4 way.
+
+Characterises each topology empirically (idle-network latency fit, volume,
+bisection -- the left half of Table 3), feeds the measurements to the
+analytic parameter advisor, and prints the recommended (O, B, D, W)
+alongside the paper's worked examples.
+
+Run:  python examples/parameter_advisor.py
+"""
+
+from repro.analysis import (
+    NetworkModel,
+    PAPER_FATTREE_64,
+    PAPER_MESH_8X8,
+    characterize,
+    recommend_params,
+)
+
+NETWORKS = ("mesh2d", "fattree", "cm5", "butterfly")
+
+
+def main() -> None:
+    print("Paper worked examples (Section 2.4.3):")
+    for label, model in (("8x8 mesh", PAPER_MESH_8X8), ("64-node fat tree", PAPER_FATTREE_64)):
+        rec = recommend_params(model)
+        p = rec.params
+        print(
+            f"  {label:18s} max RTT={rec.max_roundtrip:5.0f}cy  ->  "
+            f"O={p.opt_size} B={p.pool_size} D={p.dialogs} W={p.window}  ({rec.notes})"
+        )
+
+    print("\nMeasured on this simulator (64 nodes):")
+    for name in NETWORKS:
+        row = characterize(name, 64, hop_sample=200)
+        model = NetworkModel(
+            t_lat=row.t_lat,
+            max_hops=row.max_hops,
+            avg_hops=row.avg_hops,
+            volume_words_per_node=row.volume_words_per_node,
+            bisection_bytes_per_cycle=row.bisection_bytes_per_cycle,
+            num_nodes=row.num_nodes,
+        )
+        rec = recommend_params(model)
+        p = rec.params
+        print(
+            f"  {row.name:22s} {row.formula():26s} vol={row.volume_words_per_node:5.1f}w/node "
+            f"bis={row.bisection_bytes_per_cycle:5.1f}B/cy  ->  "
+            f"O={p.opt_size} B={p.pool_size} D={p.dialogs} W={p.window}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro: a full reproduction of "NIFDY: A Low Overhead, High Throughput
+Network Interface" (Callahan & Goldstein, ISCA 1995).
+
+The package provides:
+
+* :mod:`repro.sim` -- deterministic event-driven simulation kernel.
+* :mod:`repro.networks` -- the paper's topologies (meshes, tori, fat trees,
+  butterflies) built from flit-level routers and credit-flow-controlled links.
+* :mod:`repro.nic` -- the NIFDY unit, its lossy-network extension, and the
+  plain / buffers-only baselines.
+* :mod:`repro.node` -- processor timing model (CM-5 measured overheads).
+* :mod:`repro.traffic` -- the paper's workloads (synthetic heavy/light,
+  cyclic shift, EM3D, radix sort).
+* :mod:`repro.experiments` -- one-call experiment runner used by the
+  benchmark suite that regenerates every table and figure.
+* :mod:`repro.analysis` -- the closed-form bandwidth model (Equations 1-3)
+  and the NIFDY parameter advisor of Section 2.4.
+"""
+
+from .nic import (
+    BufferedNIC,
+    NifdyNIC,
+    NifdyParams,
+    PlainNIC,
+    RetransmittingNifdyNIC,
+)
+from .networks import NETWORK_NAMES, build_network
+from .packets import Packet, PacketKind
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferedNIC",
+    "NETWORK_NAMES",
+    "NifdyNIC",
+    "NifdyParams",
+    "Packet",
+    "PacketKind",
+    "PlainNIC",
+    "RetransmittingNifdyNIC",
+    "Simulator",
+    "build_network",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analytic models: Equations 1-4, the parameter advisor, Table 3 rows."""
+
+from .advisor import Recommendation, recommend_params
+from .bandwidth import (
+    NetworkModel,
+    PAPER_FATTREE_64,
+    PAPER_MESH_8X8,
+    min_window_combined_acks,
+    min_window_per_packet_acks,
+    pairwise_bandwidth,
+    roundtrip_time,
+    scalar_mode_sufficient,
+)
+from .characteristics import (
+    NetworkCharacteristics,
+    characterize,
+    measure_latency_fit,
+    measure_pairwise_bandwidth,
+)
+
+__all__ = [
+    "NetworkCharacteristics",
+    "NetworkModel",
+    "PAPER_FATTREE_64",
+    "PAPER_MESH_8X8",
+    "Recommendation",
+    "characterize",
+    "measure_latency_fit",
+    "measure_pairwise_bandwidth",
+    "min_window_combined_acks",
+    "min_window_per_packet_acks",
+    "pairwise_bandwidth",
+    "recommend_params",
+    "roundtrip_time",
+    "scalar_mode_sufficient",
+]

@@ -1,0 +1,96 @@
+"""NIFDY parameter selection (Section 2.4): from network characteristics to
+(O, B, D, W).
+
+This codifies the reasoning of Sections 2.4.1-2.4.3:
+
+* If the scalar round trip already hides under the software overheads, bulk
+  dialogs help only marginally (full fat tree); otherwise size the window
+  by Equation 3 (mesh: W = 2, "possibly 3 or 4 if we can afford to be
+  generous").
+* Small network volume / bisection argue for restrictive O and B (a few
+  extra packets congest a small network quickly); large volume argues for
+  generous ones to reduce head-of-line blocking.
+* D stays 1 unless the receive rate far exceeds the send rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nic import NifdyParams
+from ..node import CM5_TIMING, Timing
+from .bandwidth import (
+    NetworkModel,
+    min_window_combined_acks,
+    scalar_mode_sufficient,
+)
+
+
+@dataclass
+class Recommendation:
+    """Advisor output: parameters plus the reasoning behind them."""
+
+    params: NifdyParams
+    scalar_sufficient: bool
+    max_roundtrip: float
+    notes: str
+
+
+def recommend_params(
+    model: NetworkModel,
+    timing: Timing = CM5_TIMING,
+    t_link: float = 32.0,
+    generous: bool = False,
+) -> Recommendation:
+    """Recommend NIFDY parameters for a network described by ``model``.
+
+    ``t_link`` is the per-packet wire time (32 cycles for an 8-word packet
+    on a byte-wide link).  ``generous`` picks the upper end of the ranges
+    Section 2.4.3 discusses.
+    """
+    t_limit = max(timing.t_send, timing.t_receive, t_link)
+    rtt = model.max_roundtrip()
+    sufficient = scalar_mode_sufficient(rtt, timing.t_send, timing.t_receive, t_link)
+
+    # Volume/bisection decide how restrictive admission should be.  The
+    # paper's small mesh (8 words/node, 1/8 B/cycle/node of bisection)
+    # gets O=B=4; its fat tree (8x the bisection) gets O=B=8.
+    small_network = (
+        model.volume_words_per_node < 10 or model.bisection_per_node < 0.5
+    )
+    if small_network:
+        opt_size, pool_size = 4, 4
+    else:
+        opt_size, pool_size = 8, 8
+
+    if sufficient:
+        # Bulk only marginally useful; a modest window "probably won't
+        # hurt much either".
+        window = 4 if not small_network else 2
+        notes = (
+            "scalar round trip hides under software overhead; bulk dialogs "
+            "help only marginally"
+        )
+    else:
+        window = min_window_combined_acks(rtt, t_limit)
+        if generous:
+            window *= 2
+        if small_network:
+            window = min(window, 4)  # congestion dominates on small volume
+            notes = (
+                "round trip exceeds overhead but volume is small: window "
+                "capped to avoid congestion"
+            )
+        else:
+            notes = "window sized by Equation 3 to hide the round trip"
+    # Hardware windows are powers of two (sequence numbers are mod 2W).
+    window = max(2, 1 << (window - 1).bit_length())
+
+    return Recommendation(
+        params=NifdyParams(
+            opt_size=opt_size, pool_size=pool_size, dialogs=1, window=window
+        ),
+        scalar_sufficient=sufficient,
+        max_roundtrip=rtt,
+        notes=notes,
+    )

@@ -1,0 +1,188 @@
+"""Command-line interface: run experiments without writing Python.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro run --network fattree --traffic heavy --nic nifdy
+    python -m repro run --network cm5 --traffic cshift --nic plain --nodes 16
+    python -m repro characterize --network mesh2d
+    python -m repro advise --network cm5
+
+``run`` prints the same metrics the benchmark suite reports (packets
+delivered, throughput, latency, ordering); ``characterize`` prints a
+Table-3 row; ``advise`` runs the Section 2.4 parameter advisor on measured
+characteristics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import NetworkModel, characterize, recommend_params
+from .experiments import (
+    best_params,
+    cshift,
+    em3d,
+    heavy_synthetic,
+    hotspot,
+    light_synthetic,
+    radix_sort,
+    run_experiment,
+)
+from .networks import EXTENSION_NETWORK_NAMES, NETWORK_NAMES
+from .nic import NifdyParams
+
+TRAFFIC_CHOICES = ("heavy", "light", "cshift", "em3d", "radix", "hotspot")
+NIC_CHOICES = ("plain", "buffered", "nifdy", "nifdy-")
+
+
+def _traffic_factory(name: str):
+    if name == "heavy":
+        return heavy_synthetic()
+    if name == "light":
+        return light_synthetic()
+    if name == "cshift":
+        return cshift()
+    if name == "em3d":
+        from .traffic import Em3dConfig
+
+        return em3d(Em3dConfig.light_communication(scale=0.15, iterations=2))
+    if name == "radix":
+        return radix_sort()
+    if name == "hotspot":
+        return hotspot()
+    raise ValueError(f"unknown traffic {name!r}")
+
+
+def _cmd_list(args) -> int:
+    print("networks:")
+    for name in NETWORK_NAMES:
+        print(f"  {name}")
+    print("extension networks:")
+    for name in EXTENSION_NETWORK_NAMES:
+        print(f"  {name}")
+    print("traffic loads:", ", ".join(TRAFFIC_CHOICES))
+    print("NIC modes    :", ", ".join(NIC_CHOICES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    params = None
+    if any(v is not None for v in (args.opt, args.pool, args.dialogs, args.window)):
+        base = best_params(args.network)
+        params = NifdyParams(
+            opt_size=args.opt if args.opt is not None else base.opt_size,
+            pool_size=args.pool if args.pool is not None else base.pool_size,
+            dialogs=args.dialogs if args.dialogs is not None else base.dialogs,
+            window=args.window if args.window is not None else base.window,
+        )
+    fixed_horizon = args.traffic in ("heavy", "light")
+    result = run_experiment(
+        args.network,
+        _traffic_factory(args.traffic),
+        num_nodes=args.nodes,
+        nic_mode=args.nic,
+        nifdy_params=params,
+        run_cycles=args.cycles if fixed_horizon else None,
+        max_cycles=args.max_cycles,
+        seed=args.seed,
+        drop_prob=args.drop,
+    )
+    print(f"network          : {result.network}")
+    print(f"NIC mode         : {result.nic_mode}")
+    print(f"cycles simulated : {result.cycles:,}"
+          + ("" if result.completed else "  (did NOT complete)"))
+    print(f"packets sent     : {result.sent:,}")
+    print(f"packets delivered: {result.delivered:,}")
+    print(f"throughput       : {result.throughput:.1f} packets/kcycle")
+    print(f"mean latency     : {result.mean_network_latency:.0f} cycles "
+          "(injection -> accept)")
+    print(f"order violations : {result.order_violations}")
+    return 0 if result.completed or fixed_horizon else 1
+
+
+def _cmd_characterize(args) -> int:
+    row = characterize(args.network, args.nodes)
+    print(f"network   : {row.name}")
+    print(f"volume    : {row.volume_words_per_node:.1f} words/node")
+    print(f"bisection : {row.bisection_bytes_per_cycle:.1f} bytes/cycle")
+    print(f"hops      : avg {row.avg_hops:.1f}, max {row.max_hops}")
+    print(f"latency   : {row.formula()}")
+    print(f"in-order  : {row.delivers_in_order}")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    row = characterize(args.network, args.nodes)
+    model = NetworkModel(
+        t_lat=row.t_lat,
+        max_hops=row.max_hops,
+        avg_hops=row.avg_hops,
+        volume_words_per_node=row.volume_words_per_node,
+        bisection_bytes_per_cycle=row.bisection_bytes_per_cycle,
+        num_nodes=row.num_nodes,
+    )
+    rec = recommend_params(model)
+    p = rec.params
+    print(f"network     : {row.name}")
+    print(f"max RTT     : {rec.max_roundtrip:.0f} cycles")
+    print(f"recommended : O={p.opt_size} B={p.pool_size} D={p.dialogs} W={p.window}")
+    print(f"reasoning   : {rec.notes}")
+    tuned = best_params(args.network)
+    print(f"library tune: O={tuned.opt_size} B={tuned.pool_size} "
+          f"D={tuned.dialogs} W={tuned.window}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NIFDY (ISCA '95) reproduction: simulate MPP networks "
+        "with and without NIFDY network interfaces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list networks, traffic loads, NIC modes")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("--network", required=True,
+                     choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES)
+    run.add_argument("--traffic", default="heavy", choices=TRAFFIC_CHOICES)
+    run.add_argument("--nic", default="nifdy", choices=NIC_CHOICES)
+    run.add_argument("--nodes", type=int, default=64)
+    run.add_argument("--cycles", type=int, default=20_000,
+                     help="measurement window for synthetic traffic")
+    run.add_argument("--max-cycles", type=int, default=20_000_000,
+                     help="safety bound for run-to-completion workloads")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--drop", type=float, default=0.0,
+                     help="per-link packet drop probability (Section 6.2)")
+    run.add_argument("--opt", type=int, default=None, help="NIFDY O")
+    run.add_argument("--pool", type=int, default=None, help="NIFDY B")
+    run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")
+    run.add_argument("--window", type=int, default=None, help="NIFDY W")
+
+    for name in ("characterize", "advise"):
+        cmd = sub.add_parser(name, help=f"{name} a network")
+        cmd.add_argument("--network", required=True,
+                         choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES)
+        cmd.add_argument("--nodes", type=int, default=64)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "characterize": _cmd_characterize,
+        "advise": _cmd_advise,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

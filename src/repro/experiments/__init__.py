@@ -1,0 +1,46 @@
+"""Experiment harness: specs, tuned parameters, and the runner."""
+
+from .configs import BEST_PARAMS, best_params
+from .runner import (
+    NIC_MODES,
+    ExperimentResult,
+    TrafficFactory,
+    make_nic_factory,
+    run_experiment,
+)
+from .sweep import (
+    SweepPoint,
+    default_param_grid,
+    sweep_machine_sizes,
+    sweep_nifdy_params,
+    sweep_offered_load,
+)
+from .workloads import (
+    cshift,
+    em3d,
+    heavy_synthetic,
+    hotspot,
+    light_synthetic,
+    radix_sort,
+)
+
+__all__ = [
+    "BEST_PARAMS",
+    "NIC_MODES",
+    "SweepPoint",
+    "ExperimentResult",
+    "TrafficFactory",
+    "best_params",
+    "cshift",
+    "default_param_grid",
+    "em3d",
+    "heavy_synthetic",
+    "hotspot",
+    "light_synthetic",
+    "make_nic_factory",
+    "radix_sort",
+    "run_experiment",
+    "sweep_machine_sizes",
+    "sweep_nifdy_params",
+    "sweep_offered_load",
+]

@@ -1,0 +1,211 @@
+"""One-call experiment runner: network + NICs + processors + workload.
+
+This is the API the benchmarks (and examples) use.  A *traffic factory*
+builds one driver per node; the runner assembles everything, runs either
+for a fixed horizon (the synthetic throughput experiments) or to workload
+completion (C-shift, EM3D, radix sort), and returns an
+:class:`ExperimentResult`.
+
+NIC modes (matching the bars of Figures 2/3 and 6-9):
+
+=============  ============================================================
+``plain``      bare network interface, backpressure-only flow control
+``buffered``   NIFDY's buffer budget, no protocol ("buffers only")
+``nifdy-``     the NIFDY protocol, software NOT exploiting in-order delivery
+``nifdy``      protocol + in-order-aware communication library
+=============  ============================================================
+
+On topologies that deliver in order by construction (2D mesh with one VC,
+butterfly) the in-order-aware library is used for every mode, exactly as
+the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..metrics import CongestionTracker, MetricsCollector
+from ..networks import build_network
+from ..nic import BufferedNIC, NifdyNIC, NifdyParams, PlainNIC, RetransmittingNifdyNIC
+from ..node import CM5_TIMING, Processor, Timing, TrafficDriver
+from ..sim import Barrier, RngFactory, Simulator
+from .configs import best_params
+
+NIC_MODES = ("plain", "buffered", "nifdy", "nifdy-")
+
+#: A traffic factory: (node_id, num_nodes, rng_factory, exploit_inorder) -> driver.
+TrafficFactory = Callable[[int, int, RngFactory, bool], TrafficDriver]
+
+
+class IdleDriver(TrafficDriver):
+    """Driver for unpopulated nodes: no work, but the processor still polls
+    (used when a workload runs on a subset of a larger fabric, like the
+    paper's 32-node C-shift on the CM-5 fat tree)."""
+
+    def next_action(self):
+        from ..node import Done
+
+        return Done()
+
+    def on_packet(self, packet):
+        raise RuntimeError("idle node received a data packet")
+
+
+@dataclass
+class ExperimentResult:
+    """What one simulation run produced."""
+
+    network: str
+    nic_mode: str
+    num_nodes: int
+    cycles: int
+    sent: int
+    delivered: int
+    completed: bool
+    order_violations: int
+    mean_network_latency: float
+    mean_total_latency: float
+    drivers: List[TrafficDriver] = field(repr=False, default_factory=list)
+    processors: List[Processor] = field(repr=False, default_factory=list)
+    nics: List = field(repr=False, default_factory=list)
+    congestion: Optional[CongestionTracker] = field(repr=False, default=None)
+    metrics: Optional[MetricsCollector] = field(repr=False, default=None)
+
+    @property
+    def throughput(self) -> float:
+        """Packets delivered per 1000 cycles (the Figures 2/3 metric,
+        rescaled from the paper's per-1M-cycles window)."""
+        return 1000.0 * self.delivered / self.cycles if self.cycles else 0.0
+
+
+def make_nic_factory(
+    sim: Simulator,
+    nic_mode: str,
+    params: NifdyParams,
+    lossy: bool = False,
+    retx_timeout: int = 1000,
+) -> Callable[[int], object]:
+    """NIC constructor for ``nic_mode`` (see module docstring)."""
+    if nic_mode == "plain":
+        return lambda node: PlainNIC(sim, node)
+    if nic_mode == "buffered":
+        total = params.total_buffers
+        return lambda node: BufferedNIC(sim, node, total_buffers=total)
+    if nic_mode in ("nifdy", "nifdy-"):
+        if lossy:
+            return lambda node: RetransmittingNifdyNIC(
+                sim, node, params, retx_timeout=retx_timeout
+            )
+        return lambda node: NifdyNIC(sim, node, params)
+    raise ValueError(f"unknown NIC mode {nic_mode!r}; choose from {NIC_MODES}")
+
+
+def run_experiment(
+    network: str,
+    traffic: TrafficFactory,
+    *,
+    num_nodes: int = 64,
+    active_nodes: Optional[int] = None,
+    nic_mode: str = "nifdy",
+    nifdy_params: Optional[NifdyParams] = None,
+    run_cycles: Optional[int] = None,
+    max_cycles: int = 5_000_000,
+    seed: int = 0,
+    timing: Timing = CM5_TIMING,
+    check_order: bool = True,
+    track_congestion: bool = False,
+    congestion_sample_every: int = 1000,
+    drop_prob: float = 0.0,
+    retx_timeout: int = 1000,
+    network_overrides: Optional[Dict] = None,
+) -> ExperimentResult:
+    """Build and run one experiment.
+
+    ``run_cycles`` set: run exactly that horizon and report throughput
+    (Figures 2/3).  Unset: run until every driver is done and all sent
+    packets are delivered (C-shift/EM3D/radix), bounded by ``max_cycles``.
+
+    ``active_nodes`` runs the workload on only the first N nodes of a
+    larger fabric (a partially-populated machine, like the paper's 32-node
+    CM-5 runs); the remaining nodes idle but stay responsive.
+    """
+    sim = Simulator()
+    rngf = RngFactory(seed)
+    net = build_network(
+        network,
+        sim,
+        num_nodes,
+        rng=rngf.stream("route"),
+        drop_prob=drop_prob,
+        drop_rng=rngf.stream("drop"),
+        **(network_overrides or {}),
+    )
+    params = nifdy_params or best_params(network)
+    nic_factory = make_nic_factory(
+        sim, nic_mode, params, lossy=drop_prob > 0.0, retx_timeout=retx_timeout
+    )
+    nics = net.attach_nics(nic_factory)
+    exploit = net.delivers_in_order or nic_mode == "nifdy"
+    active = active_nodes if active_nodes is not None else num_nodes
+    if not 0 < active <= num_nodes:
+        raise ValueError("active_nodes must be in 1..num_nodes")
+    barrier = Barrier(sim, active, release_cost=timing.barrier_cost)
+    drivers = [
+        traffic(node, active, rngf, exploit) if node < active else IdleDriver()
+        for node in range(num_nodes)
+    ]
+    processors = [
+        Processor(
+            sim,
+            node,
+            nics[node],
+            drivers[node],
+            timing,
+            barrier=barrier,
+            network_in_order=net.delivers_in_order,
+            exploit_inorder=exploit,
+        )
+        for node in range(num_nodes)
+    ]
+    metrics = MetricsCollector(num_nodes, check_order=check_order)
+    metrics.attach(nics, processors)
+    tracker = None
+    if track_congestion:
+        tracker = CongestionTracker(sim, metrics, congestion_sample_every)
+        tracker.start()
+    for proc in processors:
+        proc.start()
+
+    completed = True
+    if run_cycles is not None:
+        sim.run_until(run_cycles)
+    else:
+        chunk = 1000
+        while True:
+            sim.run_until(sim.now + chunk)
+            if all(p.done for p in processors) and metrics.in_flight == 0:
+                break
+            if sim.now >= max_cycles:
+                completed = False
+                break
+    if tracker is not None:
+        tracker.stop()
+
+    return ExperimentResult(
+        network=net.name,
+        nic_mode=nic_mode,
+        num_nodes=num_nodes,
+        cycles=sim.now,
+        sent=metrics.sent,
+        delivered=metrics.delivered,
+        completed=completed,
+        order_violations=metrics.order_violations,
+        mean_network_latency=metrics.network_latency.mean,
+        mean_total_latency=metrics.total_latency.mean,
+        drivers=drivers,
+        processors=processors,
+        nics=nics,
+        congestion=tracker,
+        metrics=metrics,
+    )

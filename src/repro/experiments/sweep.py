@@ -1,0 +1,137 @@
+"""Parameter- and load-sweep helpers.
+
+The paper's methodology is sweeps: NIFDY parameters per network (Table 3),
+buffer/OPT sizes across machine sizes (Figure 4), offered load across the
+operating range (Section 1).  These helpers run such sweeps through
+:func:`run_experiment` and return structured results the benches (and
+users) can rank or plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..nic import NifdyParams
+from ..traffic import SyntheticConfig
+from .runner import run_experiment
+from .workloads import heavy_synthetic, light_synthetic
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome in a sweep."""
+
+    label: str
+    params: Optional[NifdyParams]
+    delivered: int
+    cycles: int
+
+    @property
+    def throughput(self) -> float:
+        return 1000.0 * self.delivered / self.cycles if self.cycles else 0.0
+
+
+def sweep_nifdy_params(
+    network: str,
+    grid: Iterable[NifdyParams],
+    *,
+    num_nodes: int = 64,
+    run_cycles: int = 10_000,
+    seed: int = 0,
+    combine_light_and_heavy: bool = True,
+) -> List[SweepPoint]:
+    """Score NIFDY parameter sets on a network (Table 3 methodology:
+    "chosen to give the best average performance with both test traffic
+    patterns").  Returns points sorted best-first."""
+    points = []
+    for params in grid:
+        total = 0
+        traffics = [heavy_synthetic()]
+        if combine_light_and_heavy:
+            traffics.append(light_synthetic())
+        for traffic in traffics:
+            total += run_experiment(
+                network, traffic, num_nodes=num_nodes, nic_mode="nifdy-",
+                nifdy_params=params, run_cycles=run_cycles, seed=seed,
+            ).delivered
+        label = (
+            f"O={params.opt_size} B={params.pool_size} "
+            f"D={params.dialogs} W={params.window}"
+        )
+        points.append(SweepPoint(label, params, total, run_cycles))
+    points.sort(key=lambda point: point.delivered, reverse=True)
+    return points
+
+
+def default_param_grid(
+    opt_sizes: Sequence[int] = (2, 4, 8),
+    windows: Sequence[int] = (0, 2, 8),
+    pool_size: int = 8,
+) -> List[NifdyParams]:
+    """The (O, W) grid the Table 3 bench sweeps (W=0 disables bulk)."""
+    grid = []
+    for opt in opt_sizes:
+        for window in windows:
+            dialogs = 1 if window else 0
+            grid.append(
+                NifdyParams(
+                    opt_size=opt, pool_size=pool_size,
+                    dialogs=dialogs, window=window,
+                )
+            )
+    return grid
+
+
+def sweep_offered_load(
+    network: str,
+    gaps: Sequence[int],
+    *,
+    nic_mode: str = "plain",
+    num_nodes: int = 64,
+    run_cycles: int = 20_000,
+    seed: int = 0,
+    nifdy_params: Optional[NifdyParams] = None,
+) -> List[SweepPoint]:
+    """Delivered throughput vs offered load (larger gap = lighter load):
+    the Section 1 operating-range curve."""
+    points = []
+    for gap in gaps:
+        cfg = SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
+        result = run_experiment(
+            network, heavy_synthetic(cfg), num_nodes=num_nodes,
+            nic_mode=nic_mode, nifdy_params=nifdy_params,
+            run_cycles=run_cycles, seed=seed,
+        )
+        points.append(SweepPoint(f"gap={gap}", nifdy_params,
+                                 result.delivered, result.cycles))
+    return points
+
+
+def sweep_machine_sizes(
+    network: str,
+    sizes: Sequence[int],
+    params: NifdyParams,
+    *,
+    baseline_mode: str = "plain",
+    run_cycles: int = 10_000,
+    seed: int = 0,
+    traffic=None,
+) -> Dict[int, Tuple[int, int, float]]:
+    """(nifdy delivered, baseline delivered, normalized) per machine size --
+    the Figure 4 scalability methodology."""
+    traffic = traffic or heavy_synthetic(
+        SyntheticConfig.heavy_traffic(fixed_message_length=1)
+    )
+    out = {}
+    for size in sizes:
+        base = run_experiment(
+            network, traffic, num_nodes=size, nic_mode=baseline_mode,
+            run_cycles=run_cycles, seed=seed,
+        ).delivered
+        with_nifdy = run_experiment(
+            network, traffic, num_nodes=size, nic_mode="nifdy-",
+            nifdy_params=params, run_cycles=run_cycles, seed=seed,
+        ).delivered
+        out[size] = (with_nifdy, base, with_nifdy / base if base else 0.0)
+    return out

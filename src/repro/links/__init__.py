@@ -1,0 +1,5 @@
+"""Physical links, virtual channels, and credit-based flow control."""
+
+from .link import FlitFeeder, FlitSink, Link
+
+__all__ = ["FlitFeeder", "FlitSink", "Link"]

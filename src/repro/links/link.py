@@ -1,0 +1,268 @@
+"""Physical links with virtual channels and credit-based flow control.
+
+A :class:`Link` is a unidirectional channel between an upstream *feeder*
+(a router input unit or a NIC injection port) and a downstream *sink*
+(a router input port or a NIC ejection port).  Links are the only place
+bandwidth is spent: one flit crosses the wire every ``cycles_per_flit``
+cycles, where a flit is one 32-bit word and the paper's links are 8 bits
+wide (4 bits for the CM-5 network).
+
+Virtual channels share the physical wire flit-by-flit (demand multiplexing,
+round-robin among VCs that have both a flit ready and a downstream credit).
+Each VC is *allocated* to one packet at a time -- from the cycle its head
+flit is granted until its tail flit has been delivered into the downstream
+buffer -- which gives wormhole semantics: a blocked packet keeps its chain
+of VCs and buffers, producing the secondary blocking the paper studies.
+
+The request/reply logical networks (Section 3) are carried as disjoint VC
+groups on the same link (demand multiplexed).  The CM-5's strictly
+time-multiplexed networks are modelled by the network builder as two
+half-bandwidth links instead.
+
+Lossy-network support (Section 6.2): a link may be given a ``drop_prob``;
+the drop decision is made once per packet when its head flit is granted,
+the packet's flits then consume wire bandwidth but are never delivered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..packets import FLIT_BYTES, Packet
+from ..sim import Simulator
+
+
+class FlitFeeder:
+    """Upstream side of a link: supplies flits for an allocated VC."""
+
+    def has_flit_ready(self, link: "Link", vc: int) -> bool:
+        raise NotImplementedError
+
+    def take_flit(self, link: "Link", vc: int):
+        """Remove and return ``(packet, is_head, is_tail)`` for this VC."""
+        raise NotImplementedError
+
+
+class FlitSink:
+    """Downstream side of a link: receives flits into a bounded buffer."""
+
+    def accept_flit(
+        self, port: int, vc: int, packet: Packet, is_head: bool, is_tail: bool
+    ) -> None:
+        raise NotImplementedError
+
+
+class Link:
+    """One unidirectional physical channel."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "width_bytes",
+        "cycles_per_flit",
+        "vc_count",
+        "net_of_vc",
+        "sink",
+        "sink_port",
+        "_owners",
+        "_feeders",
+        "_credits",
+        "_dropping",
+        "_vc_capacity",
+        "_busy",
+        "_rr",
+        "_alloc_waiters",
+        "drop_prob",
+        "_drop_rng",
+        "failed",
+        "_last_start",
+        "flits_carried",
+        "packets_carried",
+        "packets_dropped",
+        "busy_cycles",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        width_bytes: int,
+        vc_count: int,
+        vc_buffer_flits: int,
+        sink: Optional[FlitSink],
+        sink_port: int,
+        net_of_vc: Optional[Sequence[int]] = None,
+        drop_prob: float = 0.0,
+        drop_rng=None,
+        cycles_per_flit: Optional[int] = None,
+    ) -> None:
+        if width_bytes <= 0 or vc_count <= 0 or vc_buffer_flits <= 0:
+            raise ValueError("link parameters must be positive")
+        self.sim = sim
+        self.name = name
+        self.width_bytes = width_bytes
+        if cycles_per_flit is not None:
+            # Explicit override: used for sub-byte widths (the CM-5's 4-bit
+            # links) and for its strictly time-multiplexed logical networks.
+            self.cycles_per_flit = cycles_per_flit
+        else:
+            self.cycles_per_flit = max(1, -(-FLIT_BYTES // width_bytes))
+        self.vc_count = vc_count
+        self.net_of_vc = list(net_of_vc) if net_of_vc is not None else [0] * vc_count
+        if len(self.net_of_vc) != vc_count:
+            raise ValueError("net_of_vc must have one entry per VC")
+        self.sink = sink
+        self.sink_port = sink_port
+        self._owners: List[Optional[Packet]] = [None] * vc_count
+        self._feeders: List[Optional[FlitFeeder]] = [None] * vc_count
+        self._credits = [vc_buffer_flits] * vc_count
+        self._dropping = [False] * vc_count
+        self._vc_capacity = vc_buffer_flits
+        self._busy = False
+        self._rr = 0
+        self._alloc_waiters: List[Callable[[], None]] = []
+        self.drop_prob = drop_prob
+        self._drop_rng = drop_rng
+        self.failed = False
+        self._last_start = -(10 ** 9)
+        # statistics
+        self.flits_carried = 0
+        self.packets_carried = 0
+        self.packets_dropped = 0
+        self.busy_cycles = 0
+
+    def set_sink(self, sink: FlitSink, sink_port: int = 0) -> None:
+        """Bind the downstream consumer (used for NIC ejection links, which
+        are created when the topology is built, before NICs exist)."""
+        self.sink = sink
+        self.sink_port = sink_port
+
+    # ------------------------------------------------------------------ VCs
+    def vcs_for_net(self, net: int) -> List[int]:
+        """Indices of VCs belonging to logical network ``net``."""
+        return [i for i, n in enumerate(self.net_of_vc) if n == net]
+
+    def vc_free(self, vc: int) -> bool:
+        return self._owners[vc] is None
+
+    def owner(self, vc: int) -> Optional[Packet]:
+        return self._owners[vc]
+
+    def fail(self) -> None:
+        """Take this link out of service (Section 1.1: network faults).
+
+        A failed link accepts no new packets; routes with alternative
+        candidates (fat-tree up-paths, multibutterfly copies, adaptive mesh
+        VCs) flow around it.  Failing a link that is some pair's only path
+        partitions the network for that pair -- the caller's responsibility.
+        Packets already holding the link finish crossing it.
+        """
+        self.failed = True
+
+    def allocate_vc(
+        self, packet: Packet, feeder: FlitFeeder, candidates: Sequence[int]
+    ) -> Optional[int]:
+        """Try to allocate one of ``candidates`` to ``packet``.
+
+        Returns the VC index, or None if all candidates are held by other
+        packets.  The caller may register with :meth:`add_alloc_waiter` to be
+        re-tried when a VC frees.
+        """
+        if self.failed:
+            return None
+        for vc in candidates:
+            if self._owners[vc] is None:
+                self._owners[vc] = packet
+                self._feeders[vc] = feeder
+                if self.drop_prob > 0.0 and packet.is_data:
+                    self._dropping[vc] = self._drop_rng.random() < self.drop_prob
+                else:
+                    self._dropping[vc] = False
+                return vc
+        return None
+
+    def add_alloc_waiter(self, fn: Callable[[], None]) -> None:
+        """Call ``fn`` next time a VC on this link is released."""
+        self._alloc_waiters.append(fn)
+
+    # ------------------------------------------------------------ data path
+    def notify_flit_ready(self, vc: int) -> None:
+        """Feeder signals that ``vc`` may now have work; try to transfer."""
+        self._kick()
+
+    def return_credit(self, vc: int) -> None:
+        """Sink signals that one flit left the downstream buffer of ``vc``."""
+        if self._credits[vc] >= self._vc_capacity:
+            raise RuntimeError(f"{self.name}: credit overflow on VC {vc}")
+        self._credits[vc] += 1
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._busy:
+            return
+        n = self.vc_count
+        chosen = -1
+        for i in range(n):
+            vc = (self._rr + i) % n
+            feeder = self._feeders[vc]
+            if feeder is None:
+                continue
+            if self._credits[vc] <= 0 and not self._dropping[vc]:
+                continue
+            if feeder.has_flit_ready(self, vc):
+                chosen = vc
+                break
+        if chosen < 0:
+            return
+        self._rr = (chosen + 1) % n
+        feeder = self._feeders[chosen]
+        dropping = self._dropping[chosen]
+        if not dropping:
+            self._credits[chosen] -= 1
+        # Mark the wire busy BEFORE taking the flit: take_flit returns a
+        # credit upstream, and on cyclic topologies that credit-return chain
+        # can run all the way around a ring and re-enter this link's _kick
+        # within the same call stack.  Claiming the wire first makes the
+        # re-entry a no-op instead of a double transfer.
+        self._busy = True
+        if self.sim.now - self._last_start < self.cycles_per_flit and self.flits_carried:
+            raise RuntimeError(f"{self.name}: wire overclocked (double transfer)")
+        self._last_start = self.sim.now
+        packet, is_head, is_tail = feeder.take_flit(self, chosen)
+        self.flits_carried += 1
+        self.busy_cycles += self.cycles_per_flit
+        self.sim.schedule(
+            self.cycles_per_flit, self._complete, chosen, packet, is_head, is_tail
+        )
+
+    def _complete(self, vc: int, packet: Packet, is_head: bool, is_tail: bool) -> None:
+        self._busy = False
+        dropping = self._dropping[vc]
+        if is_tail:
+            # Release the VC before delivering the tail flit: delivery may
+            # trigger the downstream packet to advance and a waiter to want
+            # this VC in the same cycle.
+            self._owners[vc] = None
+            self._feeders[vc] = None
+            self._dropping[vc] = False
+            self.packets_carried += 1
+            if dropping:
+                self.packets_dropped += 1
+            if self._alloc_waiters:
+                waiters = self._alloc_waiters
+                self._alloc_waiters = []
+                for fn in waiters:
+                    fn()
+        if not dropping:
+            self.sink.accept_flit(self.sink_port, vc, packet, is_head, is_tail)
+        self._kick()
+
+    # ------------------------------------------------------------- metrics
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of cycles this wire was carrying flits."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} vcs={self.vc_count} busy={self._busy}>"

@@ -1,0 +1,25 @@
+"""Measurement: delivery/latency accounting, congestion tracking, reports."""
+
+from .collector import LatencyStats, MetricsCollector
+from .congestion import CongestionTracker
+from .trace import PacketTrace, PacketTracer
+from .report import (
+    LatencyHistogram,
+    LinkUtilization,
+    link_utilization_report,
+    results_to_csv,
+    utilization_summary,
+)
+
+__all__ = [
+    "CongestionTracker",
+    "LatencyHistogram",
+    "LatencyStats",
+    "LinkUtilization",
+    "MetricsCollector",
+    "PacketTrace",
+    "PacketTracer",
+    "link_utilization_report",
+    "results_to_csv",
+    "utilization_summary",
+]

@@ -1,0 +1,122 @@
+"""Result reporting: latency histograms, link utilisation, CSV export.
+
+Tooling a downstream user needs to look *inside* a run: where the cycles
+went (latency percentiles), where the bandwidth went (per-link utilisation,
+which visualises hot spots and bisection pressure), and machine-readable
+dumps of experiment results.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..networks import Network
+
+
+class LatencyHistogram:
+    """Power-of-two-bucket latency histogram with percentile queries."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.maximum = 0
+
+    @staticmethod
+    def _bucket(value: int) -> int:
+        return max(0, int(value).bit_length() - 1)
+
+    def note(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        bucket = self._bucket(value)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket containing the given percentile."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0
+        target = fraction * self.count
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= target:
+                return (1 << (bucket + 1)) - 1
+        return self.maximum
+
+    def rows(self) -> List[Tuple[str, int]]:
+        """(range label, count) pairs for rendering."""
+        out = []
+        for bucket in sorted(self._buckets):
+            low = 1 << bucket if bucket else 0
+            high = (1 << (bucket + 1)) - 1
+            out.append((f"{low}-{high}", self._buckets[bucket]))
+        return out
+
+
+@dataclass
+class LinkUtilization:
+    name: str
+    utilization: float
+    flits: int
+    packets_dropped: int
+
+
+def link_utilization_report(
+    network: Network, elapsed_cycles: int, top: Optional[int] = None,
+    include_nic_links: bool = False,
+) -> List[LinkUtilization]:
+    """Per-link utilisation, busiest first (hot links = congestion map)."""
+    rows = [
+        LinkUtilization(
+            name=link.name,
+            utilization=link.utilization(elapsed_cycles),
+            flits=link.flits_carried,
+            packets_dropped=link.packets_dropped,
+        )
+        for link in network.links
+        if include_nic_links or id(link) not in network._nic_link_ids
+    ]
+    rows.sort(key=lambda row: row.utilization, reverse=True)
+    return rows[:top] if top is not None else rows
+
+
+def utilization_summary(network: Network, elapsed_cycles: int) -> Dict[str, float]:
+    """Aggregate fabric utilisation statistics."""
+    rows = link_utilization_report(network, elapsed_cycles)
+    if not rows:
+        return {"mean": 0.0, "max": 0.0, "busy_fraction": 0.0}
+    values = [row.utilization for row in rows]
+    return {
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "busy_fraction": sum(v > 0.5 for v in values) / len(values),
+    }
+
+
+def results_to_csv(results: Sequence, fieldnames: Optional[Sequence[str]] = None) -> str:
+    """Render ExperimentResult-like objects as CSV text."""
+    fieldnames = list(fieldnames or (
+        "network", "nic_mode", "num_nodes", "cycles", "sent", "delivered",
+        "completed", "order_violations", "mean_network_latency",
+        "mean_total_latency",
+    ))
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for result in results:
+        writer.writerow({name: getattr(result, name) for name in fieldnames})
+    return buffer.getvalue()

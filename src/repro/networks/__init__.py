@@ -1,0 +1,20 @@
+"""Network topologies: meshes, tori, fat trees, and (multi)butterflies."""
+
+from .base import Network, vc_layout
+from .butterfly import build_butterfly
+from .fattree import CM5, FULL, build_fattree
+from .mesh import build_mesh
+from .registry import EXTENSION_NETWORK_NAMES, NETWORK_NAMES, build_network
+
+__all__ = [
+    "CM5",
+    "EXTENSION_NETWORK_NAMES",
+    "FULL",
+    "NETWORK_NAMES",
+    "Network",
+    "build_butterfly",
+    "build_fattree",
+    "build_mesh",
+    "build_network",
+    "vc_layout",
+]

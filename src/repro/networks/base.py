@@ -1,0 +1,145 @@
+"""Network container: routers + links + per-node NIC attachment points.
+
+A topology builder produces a :class:`Network`, which owns the routers and
+links and knows how to wire a NIC to each node's injection/ejection port.
+All topologies carry two logical networks (request and reply, Section 3) as
+disjoint VC groups on every link; they are demand-multiplexed except on the
+CM-5 imitation, whose builder creates separate half-bandwidth links instead.
+
+The container also exposes the static characteristics Table 3 reports:
+network volume (buffer capacity), bisection bandwidth, and hop counts, plus
+a ``networkx`` view of the topology used by the analysis module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..links import Link
+from ..nic.base import BaseNIC
+from ..packets import FLIT_BYTES
+from ..routers import Router
+from ..sim import Simulator
+
+#: Default VC layout helper: ``v`` VCs for the request net then ``v`` for the
+#: reply net.
+def vc_layout(vcs_per_net: int, nets: int = 2) -> List[int]:
+    layout: List[int] = []
+    for net in range(nets):
+        layout.extend([net] * vcs_per_net)
+    return layout
+
+
+class Network:
+    """A built topology, ready for NICs to be attached."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_nodes: int,
+        delivers_in_order: bool,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.num_nodes = num_nodes
+        self.delivers_in_order = delivers_in_order
+        self.routers: List[Router] = []
+        self.links: List[Link] = []
+        self.nics: List[Optional[BaseNIC]] = [None] * num_nodes
+        # Filled in by the topology builder:
+        self._nic_wiring: Dict[int, Tuple[Router, int, Callable[[BaseNIC], None]]] = {}
+        self._nic_link_ids: set = set()
+        self.graph = nx.DiGraph()  # routers as "r<id>", nodes as "n<id>"
+
+    # -------------------------------------------------------------- wiring
+    def add_router(self, router: Router) -> Router:
+        self.routers.append(router)
+        self.graph.add_node(f"r{router.rid}")
+        return router
+
+    def register_link(self, link: Link, src_label: str, dst_label: str) -> Link:
+        self.links.append(link)
+        if src_label.startswith("n") or dst_label.startswith("n"):
+            self._nic_link_ids.add(id(link))
+        self.graph.add_edge(src_label, dst_label, link=link)
+        return link
+
+    def set_nic_wiring(
+        self, node: int, attach: Callable[[BaseNIC], None]
+    ) -> None:
+        """Record how to wire a NIC for ``node`` (builder-supplied)."""
+        self._nic_wiring[node] = attach  # type: ignore[assignment]
+
+    def attach_nics(self, factory: Callable[[int], BaseNIC]) -> List[BaseNIC]:
+        """Create and wire one NIC per node using ``factory(node_id)``."""
+        for node in range(self.num_nodes):
+            nic = factory(node)
+            self._nic_wiring[node](nic)  # type: ignore[operator]
+            self.nics[node] = nic
+        return list(self.nics)  # type: ignore[return-value]
+
+    # ----------------------------------------------------- characteristics
+    def volume_flits(self, include_nic_links: bool = False) -> int:
+        """Total flit (= word) buffering in the fabric: the network volume
+        Table 3 discusses.  The paper counts router buffers only, so NIC
+        attachment links are excluded by default."""
+        return sum(
+            link.vc_count * link._vc_capacity
+            for link in self.links
+            if include_nic_links or id(link) not in self._nic_link_ids
+        )
+
+    def volume_words_per_node(self) -> float:
+        return self.volume_flits() / self.num_nodes
+
+    def bisection_bandwidth(self) -> float:
+        """Max-flow bandwidth (bytes/cycle) across a balanced node bisection.
+
+        The nodes are split into low-id and high-id halves (the natural
+        split for all the regular topologies here); link capacities are
+        their wire bandwidths, and the minimum cut between the halves is
+        the bisection bandwidth Table 3 discusses.
+        """
+        flow_graph = nx.DiGraph()
+        for u, v, data in self.graph.edges(data=True):
+            link: Link = data["link"]
+            flow_graph.add_edge(u, v, capacity=FLIT_BYTES / link.cycles_per_flit)
+        half = self.num_nodes // 2
+        for node in range(self.num_nodes):
+            if node < half:
+                flow_graph.add_edge("SRC", f"n{node}", capacity=float("inf"))
+            else:
+                flow_graph.add_edge(f"n{node}", "DST", capacity=float("inf"))
+        value, _ = nx.maximum_flow(flow_graph, "SRC", "DST")
+        return value
+
+    def min_hops(self, src: int, dst: int) -> int:
+        """Minimum link hops (including NIC links) between two nodes."""
+        return nx.shortest_path_length(self.graph, f"n{src}", f"n{dst}")
+
+    def hop_stats(self, sample: Optional[int] = None) -> Tuple[float, int]:
+        """(average, maximum) hop count over all (or sampled) node pairs."""
+        pairs = [
+            (s, d)
+            for s in range(self.num_nodes)
+            for d in range(self.num_nodes)
+            if s != d
+        ]
+        if sample is not None and len(pairs) > sample:
+            step = len(pairs) // sample
+            pairs = pairs[::step]
+        hops = [self.min_hops(s, d) for s, d in pairs]
+        return sum(hops) / len(hops), max(hops)
+
+    def total_link_bandwidth(self) -> float:
+        """Aggregate fabric bandwidth in bytes/cycle."""
+        return sum(FLIT_BYTES / link.cycles_per_flit for link in self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Network {self.name} nodes={self.num_nodes} "
+            f"routers={len(self.routers)} links={len(self.links)}>"
+        )

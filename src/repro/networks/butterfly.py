@@ -1,0 +1,193 @@
+"""Radix-k butterflies and dilated multibutterflies.
+
+The paper simulates "multibutterflies, with adjustable dilation and radix.
+In this report we use a butterfly (dilation 1, radix 4) and a multibutterfly
+(dilation 2, radix 4)".
+
+Construction (delta network): ``n = log_k(N)`` stages of ``N/k`` switches.
+A packet's "line number" starts as anything and must become the destination
+id; stage ``s`` (0-based from injection) rewrites digit ``n-1-s``
+(most-significant first) to the destination's digit.  The switch of stage
+``s`` containing line ``x`` is identified by ``x`` with digit ``n-1-s``
+removed; output port ``p`` leads to the stage-``s+1`` switch containing the
+line with that digit set to ``p``.
+
+* Dilation 1 gives a unique path per (src, dst) pair -- in-order delivery,
+  but zero path diversity, which is why congestion avoidance matters most
+  here (Table 3: the butterfly is the only network best run with no bulk
+  dialogs).
+* Dilation 2 adds a second, equivalent next-stage switch for each logical
+  direction (any switch agreeing on the digits already rewritten serves the
+  same destinations, because the remaining low digits will be rewritten
+  anyway).  The choice is adaptive, so packets can arrive out of order.
+
+The network is unidirectional: acks traverse the full butterfly from
+receiver back to sender on the reply VCs of the same links.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..links import Link
+from ..packets import Packet
+from ..routers import Router
+from ..sim import Simulator
+from .base import Network, vc_layout
+
+
+def _remove_digit(value: int, pos: int, k: int) -> int:
+    """Remove the base-k digit at ``pos`` from ``value``."""
+    high = value // (k ** (pos + 1))
+    low = value % (k ** pos)
+    return high * (k ** pos) + low
+
+
+def _insert_digit(value: int, pos: int, digit: int, k: int) -> int:
+    """Insert ``digit`` at position ``pos`` into base-k number ``value``."""
+    high = value // (k ** pos)
+    low = value % (k ** pos)
+    return high * (k ** (pos + 1)) + digit * (k ** pos) + low
+
+
+def _digit(value: int, pos: int, k: int) -> int:
+    return (value // (k ** pos)) % k
+
+
+def build_butterfly(
+    sim: Simulator,
+    stages: int = 3,
+    k: int = 4,
+    dilation: int = 1,
+    buffer_flits: int = 4,
+    eject_flits: int = 16,
+    route_delay: int = 1,
+    vcs_per_net: int = 1,
+    width_bytes: int = 1,
+    rng: Optional[random.Random] = None,
+    drop_prob: float = 0.0,
+    drop_rng=None,
+) -> Network:
+    """Build a radix-k, ``stages``-stage (multi)butterfly of ``k**stages`` nodes."""
+    if not 1 <= dilation <= k:
+        raise ValueError(f"dilation must be in 1..{k} (the radix)")
+    rng = rng or random.Random(0)
+    num_nodes = k ** stages
+    switches_per_stage = num_nodes // k
+    layout = vc_layout(vcs_per_net)
+    vc_count = len(layout)
+    name = "butterfly" if dilation == 1 else "multibutterfly"
+    net = Network(
+        sim, f"{name} ({num_nodes})", num_nodes,
+        delivers_in_order=(dilation == 1 and vcs_per_net == 1),
+    )
+
+    # rid = stage * switches_per_stage + index
+    router_meta: Dict[int, Tuple[int, int]] = {}
+
+    def copies_for(stage: int) -> int:
+        """Physical copies of each logical direction leaving ``stage``.
+
+        An alternate next-stage switch only exists while there is still a
+        not-yet-rewritten low digit to vary, i.e. for all but the last two
+        transitions; the final fan-in to the destination is unique.
+        """
+        if stage >= stages - 2:
+            return 1
+        return dilation
+
+    def route(router: Router, packet: Packet, in_port: int, in_vc: int):
+        stage, index = router_meta[router.rid]
+        digit_pos = stages - 1 - stage
+        out_digit = _digit(packet.dst, digit_pos, k)
+        if stage == stages - 1:
+            link = router.out_links[out_digit]
+            return [(link, link.vcs_for_net(packet.logical_net))]
+        choices = []
+        for copy in range(copies_for(stage)):
+            link = router.out_links[out_digit * dilation + copy]
+            choices.append((link, link.vcs_for_net(packet.logical_net)))
+        if len(choices) > 1:
+            rng.shuffle(choices)
+        return choices
+
+    routers: List[List[Router]] = []
+    rid = 0
+    for stage in range(stages):
+        row = []
+        for index in range(switches_per_stage):
+            router = Router(sim, rid, route, route_delay=route_delay)
+            router_meta[rid] = (stage, index)
+            net.add_router(router)
+            row.append(router)
+            rid += 1
+        routers.append(row)
+
+    def make_link(label: str, dst: Router, dst_port: int, buf: int) -> Link:
+        link = Link(
+            sim, label, width_bytes, vc_count, buf,
+            sink=dst, sink_port=dst_port, net_of_vc=layout,
+            drop_prob=drop_prob, drop_rng=drop_rng,
+        )
+        dst.attach_in_link(dst_port, link)
+        return link
+
+    # Inter-stage links.  Input ports at stage s+1 are allocated densely in
+    # arrival order (each switch has at most k*dilation inputs).
+    in_port_counter: Dict[int, int] = {}
+    for stage in range(stages - 1):
+        digit_pos = stages - 1 - stage
+        next_pos = stages - 2 - stage
+        for index in range(switches_per_stage):
+            switch = routers[stage][index]
+            for out_digit in range(k):
+                for copy in range(copies_for(stage)):
+                    line = _insert_digit(index, digit_pos, out_digit, k)
+                    if copy:
+                        # Equivalent alternate: vary a stale low digit of
+                        # the line (it will be rewritten downstream), which
+                        # lands in a different switch serving the same
+                        # destination set.  Each copy offsets the digit by
+                        # a distinct amount, so up to k copies exist.
+                        stale = _digit(line, 0, k)
+                        line = _insert_digit(
+                            _remove_digit(line, 0, k), 0, (stale + copy) % k, k
+                        )
+                    next_index = _remove_digit(line, next_pos, k)
+                    target = routers[stage + 1][next_index]
+                    port_in = in_port_counter.get(target.rid, 0)
+                    in_port_counter[target.rid] = port_in + 1
+                    link = make_link(
+                        f"bf:{switch.rid}.{out_digit}.{copy}",
+                        target, port_in, buffer_flits,
+                    )
+                    switch.attach_out_link(out_digit * dilation + copy, link)
+                    net.register_link(link, f"r{switch.rid}", f"r{target.rid}")
+
+    # Node attachments: injection into stage 0, ejection from the last stage.
+    for node in range(num_nodes):
+        first = routers[0][_remove_digit(node, stages - 1, k)]
+        inj = make_link(
+            f"bf:inj{node}", first,
+            in_port_counter.get(first.rid, k * dilation)
+            + _digit(node, stages - 1, k),
+            buffer_flits,
+        )
+        net.register_link(inj, f"n{node}", f"r{first.rid}")
+        last = routers[stages - 1][_remove_digit(node, 0, k)]
+        ej = Link(
+            sim, f"bf:ej{node}", width_bytes, vc_count, eject_flits,
+            sink=None, sink_port=0, net_of_vc=layout,
+        )
+        last.attach_out_link(_digit(node, 0, k), ej)
+        net.register_link(ej, f"r{last.rid}", f"n{node}")
+
+        def attach(nic, inj=inj, ej=ej):
+            nic.attach_injection(inj)
+            ej.set_sink(nic, 0)
+            nic.attach_ejection(ej)
+
+        net.set_nic_wiring(node, attach)
+
+    return net

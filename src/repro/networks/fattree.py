@@ -1,0 +1,233 @@
+"""k-ary n-tree fat trees: the full 4-ary fat tree and the CM-5 imitation.
+
+Topology (k-ary n-tree): ``k**n`` nodes, ``n`` router levels of ``k**(n-1)``
+routers each.  A level-``l`` router is identified by ``n-1`` base-k digits;
+it connects downward to the level-``l-1`` routers (or nodes) that agree with
+it everywhere except digit ``l-1``, and upward to the level-``l+1`` routers
+that agree everywhere except digit ``l``.
+
+Routing is the classic adaptive up / deterministic down scheme: climb to the
+lowest common ancestor choosing any up port (randomised -- this is where
+packets get reordered), then descend following the destination's digits.
+Up*/down* routing is deadlock-free with a single VC per logical network.
+
+Variants (Section 3):
+
+* **full** -- every router has k parents; 1-byte links; cut-through or
+  store-and-forward forwarding.
+* **cm5**  -- "routers in the first two levels are connected to two parents
+  rather than four, reducing bisection bandwidth ... the link bandwidth was
+  reduced to 4 bits per cycle as in the CM-5 network", and the request/reply
+  networks are strictly time-multiplexed every other cycle, which we model
+  as two half-bandwidth sub-links per channel (each logical network gets
+  8 bits every two cycles regardless of the other's traffic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..links import Link
+from ..packets import Packet, REPLY_NET, REQUEST_NET
+from ..routers import CUTTHROUGH, STORE_AND_FORWARD, Router
+from ..sim import Simulator
+from .base import Network
+
+FULL = "full"
+CM5 = "cm5"
+
+
+def _digits(value: int, k: int, count: int) -> Tuple[int, ...]:
+    out = []
+    for _ in range(count):
+        out.append(value % k)
+        value //= k
+    return tuple(out)  # least-significant digit first
+
+
+class _FatTreeMeta:
+    """Shared geometry captured by the routing closure."""
+
+    def __init__(self, k: int, levels: int, up_choices: int, sublinks: int):
+        self.k = k
+        self.levels = levels
+        self.up_choices = up_choices
+        self.sublinks = sublinks  # 1 (demand-mux) or 2 (CM-5 time-mux)
+        self.router_meta: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+
+    def port(self, logical_port: int, net: int) -> int:
+        return logical_port * self.sublinks + (net if self.sublinks > 1 else 0)
+
+
+def build_fattree(
+    sim: Simulator,
+    levels: int = 3,
+    k: int = 4,
+    variant: str = FULL,
+    mode: str = CUTTHROUGH,
+    buffer_flits: Optional[int] = None,
+    eject_flits: int = 16,
+    route_delay: int = 1,
+    rng: Optional[random.Random] = None,
+    drop_prob: float = 0.0,
+    drop_rng=None,
+) -> Network:
+    """Build a k-ary n-tree with ``k**levels`` nodes."""
+    if variant not in (FULL, CM5):
+        raise ValueError(f"unknown fat-tree variant {variant!r}")
+    if mode == STORE_AND_FORWARD and buffer_flits is None:
+        buffer_flits = 10  # a full 8-flit packet plus slack
+    if buffer_flits is None:
+        buffer_flits = 4
+    rng = rng or random.Random(0)
+    num_nodes = k ** levels
+    up_choices = 2 if variant == CM5 else k
+    sublinks = 2 if variant == CM5 else 1
+    meta = _FatTreeMeta(k, levels, up_choices, sublinks)
+
+    if variant == CM5:
+        name = f"cm5 fat tree ({num_nodes})"
+        vcs_per_net = 1
+        width = 1  # nominal; real pacing set via cycles_per_flit below
+        cycles_per_flit = 16  # 32-bit flit at 8 bits per 2 cycles, per net
+    else:
+        mode_name = "s&f " if mode == STORE_AND_FORWARD else ""
+        name = f"{mode_name}full fat tree ({num_nodes})"
+        vcs_per_net = 1
+        width = 1
+        cycles_per_flit = None
+
+    net = Network(sim, name, num_nodes, delivers_in_order=False)
+
+    # ------------------------------------------------------------- routers
+    digit_count = levels - 1
+    routers: Dict[Tuple[int, Tuple[int, ...]], Router] = {}
+    next_rid = 0
+
+    def exists(level: int, digits: Tuple[int, ...]) -> bool:
+        """CM-5 pruning: digits below ``level`` were set by up-hops, which
+        only use the first ``up_choices`` values."""
+        return all(d < up_choices for d in digits[:level])
+
+    def route(router: Router, packet: Packet, in_port: int, in_vc: int):
+        level, digits = meta.router_meta[router.rid]
+        dst = _digits(packet.dst, k, levels)  # dst[j] = digit j
+        is_ancestor = all(
+            digits[j] == dst[j + 1] for j in range(level, digit_count)
+        )
+        if is_ancestor:
+            down_digit = dst[level]  # level 0: ejection port to the node
+            port = meta.port(down_digit, packet.logical_net)
+            link = router.out_links[port]
+            return [(link, link.vcs_for_net(packet.logical_net))]
+        choices = []
+        for up in range(meta.up_choices):
+            port = meta.port(k + up, packet.logical_net)
+            link = router.out_links[port]
+            choices.append((link, link.vcs_for_net(packet.logical_net)))
+        rng.shuffle(choices)
+        return choices
+
+    for level in range(levels):
+        for index in range(k ** digit_count):
+            digits = _digits(index, k, digit_count)
+            if not exists(level, digits):
+                continue
+            router = Router(
+                sim, next_rid, route, mode=mode, route_delay=route_delay
+            )
+            meta.router_meta[next_rid] = (level, digits)
+            routers[(level, digits)] = router
+            net.add_router(router)
+            next_rid += 1
+
+    # --------------------------------------------------------------- links
+    def make_links(dst_router: Router, dst_logical_port: int, label: str):
+        """One link per sub-network (1 normally, 2 for CM-5 time-mux)."""
+        made = []
+        for sub in range(sublinks):
+            nets = [sub] if sublinks > 1 else [REQUEST_NET, REPLY_NET]
+            layout = []
+            for n in nets:
+                layout.extend([n] * vcs_per_net)
+            port = dst_logical_port * sublinks + sub
+            link = Link(
+                sim,
+                f"{label}/net{sub}" if sublinks > 1 else label,
+                width,
+                len(layout),
+                buffer_flits,
+                sink=dst_router,
+                sink_port=port,
+                net_of_vc=layout,
+                cycles_per_flit=cycles_per_flit,
+                drop_prob=drop_prob,
+                drop_rng=drop_rng,
+            )
+            dst_router.attach_in_link(port, link)
+            made.append(link)
+        return made
+
+    def wire(src: Router, src_logical_port: int, links: Sequence[Link],
+             src_label: str, dst_label: str) -> None:
+        for sub, link in enumerate(links):
+            src.attach_out_link(src_logical_port * sublinks + sub, link)
+            net.register_link(link, src_label, dst_label)
+
+    for (level, digits), router in routers.items():
+        if level + 1 >= levels:
+            continue
+        for value in range(up_choices):
+            upper_digits = digits[:level] + (value,) + digits[level + 1:]
+            upper = routers[(level + 1, upper_digits)]
+            # lower->upper: upper's down port is the lower router's digit
+            # at position ``level``.
+            up_links = make_links(upper, digits[level], f"ft:up{router.rid}.{value}")
+            wire(router, k + value, up_links, f"r{router.rid}", f"r{upper.rid}")
+            down_links = make_links(router, k + value, f"ft:down{upper.rid}.{digits[level]}")
+            wire(upper, digits[level], down_links, f"r{upper.rid}", f"r{router.rid}")
+
+    # --------------------------------------------------- node attachments
+    for node in range(num_nodes):
+        leaf_digits = _digits(node // k, k, digit_count)
+        leaf = routers[(0, leaf_digits)]
+        child = node % k
+        inj_links = make_links(leaf, child, f"ft:inj{node}")
+        for sub, link in enumerate(inj_links):
+            net.register_link(link, f"n{node}", f"r{leaf.rid}")
+        ej_links = []
+        for sub in range(sublinks):
+            nets = [sub] if sublinks > 1 else [REQUEST_NET, REPLY_NET]
+            layout = []
+            for n in nets:
+                layout.extend([n] * vcs_per_net)
+            link = Link(
+                sim,
+                f"ft:ej{node}" + (f"/net{sub}" if sublinks > 1 else ""),
+                width,
+                len(layout),
+                eject_flits,
+                sink=None,
+                sink_port=sub,
+                net_of_vc=layout,
+                cycles_per_flit=cycles_per_flit,
+            )
+            leaf.attach_out_link(child * sublinks + sub, link)
+            net.register_link(link, f"r{leaf.rid}", f"n{node}")
+            ej_links.append(link)
+
+        def attach(nic, inj_links=inj_links, ej_links=ej_links):
+            if len(inj_links) == 1:
+                nic.attach_injection(inj_links[0])
+                ej_links[0].set_sink(nic, 0)
+                nic.attach_ejection(ej_links[0])
+            else:
+                nic.attach_injection_pair(inj_links)
+                for sub, link in enumerate(ej_links):
+                    link.set_sink(nic, sub)
+                nic.attach_ejection_pair(ej_links)
+
+        net.set_nic_wiring(node, attach)
+
+    return net

@@ -1,0 +1,247 @@
+"""k-ary n-dimensional meshes and tori with wormhole routing.
+
+Matches the paper's simulator (Section 3): "two- and three-dimensional
+meshes and tori utilizing wormhole routing with virtual channels.  The size
+in each dimension, the number of virtual channels, and buffer sizes are all
+run-time parameters.  Links were one byte wide."
+
+* Meshes need a single VC per logical network and deliver packets in order
+  when configured that way; with ``vcs_per_net > 1`` the VC choice is
+  adaptive and packets may arrive out of order ([Dal90], quoted in
+  Section 1.1).
+* Tori use the dateline discipline: two VC classes per logical network; a
+  packet switches from class 0 to class 1 on the wrap-around hop of each
+  dimension, which breaks the channel-dependency cycle of the ring.
+* ``adaptive=True`` (meshes only) implements the Section 6.3 future-work
+  item -- "extend the simulator to study how NIFDY interacts with adaptive
+  routing on a mesh" -- as a Duato-style fully-adaptive router: each
+  logical network gets adaptive VC class(es) usable toward any profitable
+  dimension plus one escape VC restricted to dimension-order routing, so
+  the escape sub-network keeps the whole thing deadlock-free.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..links import Link
+from ..packets import Packet
+from ..routers import Router
+from ..sim import Simulator
+from .base import Network, vc_layout
+
+#: Per-VC flit buffer depth ("each flit buffer holds at most two flits").
+DEFAULT_BUFFER_FLITS = 2
+
+#: Ejection buffers hold two 8-word packets at the NIC boundary.
+DEFAULT_EJECT_FLITS = 16
+
+
+def _strides(dims: Sequence[int]) -> List[int]:
+    strides = [1]
+    for size in dims[:-1]:
+        strides.append(strides[-1] * size)
+    return strides
+
+
+def _coords(node: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    coords = []
+    for size in dims:
+        coords.append(node % size)
+        node //= size
+    return tuple(coords)
+
+
+def build_mesh(
+    sim: Simulator,
+    dims: Sequence[int],
+    torus: bool = False,
+    adaptive: bool = False,
+    width_bytes: int = 1,
+    vcs_per_net: int = 1,
+    buffer_flits: int = DEFAULT_BUFFER_FLITS,
+    eject_flits: int = DEFAULT_EJECT_FLITS,
+    route_delay: int = 0,
+    rng: Optional[random.Random] = None,
+    drop_prob: float = 0.0,
+    drop_rng=None,
+) -> Network:
+    """Build an n-dimensional mesh or torus.
+
+    Port layout per router: for dimension ``i``, port ``2i`` faces the
+    positive direction and ``2i+1`` the negative; port ``2*ndims`` is the
+    node's injection/ejection attachment.
+
+    With ``adaptive=True`` (mesh only), ``vcs_per_net`` adaptive VCs are
+    added on top of a dimension-order escape VC per logical network.
+    """
+    dims = tuple(dims)
+    if any(size < 2 for size in dims):
+        raise ValueError("every mesh dimension needs at least 2 nodes")
+    if torus and adaptive:
+        raise ValueError("adaptive routing is implemented for meshes only")
+    if torus and vcs_per_net < 2:
+        vcs_per_net = 2  # dateline discipline needs two VC classes
+    if adaptive:
+        # classes 0..vcs_per_net-1 are adaptive, the last is the escape VC
+        vcs_per_net = vcs_per_net + 1
+    rng = rng or random.Random(0)
+    num_nodes = 1
+    for size in dims:
+        num_nodes *= size
+    ndims = len(dims)
+    layout = vc_layout(vcs_per_net)
+    vc_count = len(layout)
+    kind = "torus" if torus else ("adaptive mesh" if adaptive else "mesh")
+    shape = "x".join(str(size) for size in dims)
+    in_order = vcs_per_net == 1 and not torus and not adaptive
+    net = Network(sim, f"{shape} {kind}", num_nodes, delivers_in_order=in_order)
+    strides = _strides(dims)
+
+    def vc_class(link: Link, vc: int) -> int:
+        """Position of ``vc`` within its logical network's VC group."""
+        group = link.vcs_for_net(link.net_of_vc[vc])
+        return group.index(vc)
+
+    def route(router: Router, packet: Packet, in_port: int, in_vc: int):
+        cur = _coords(router.rid, dims)
+        dst = _coords(packet.dst, dims)
+        if cur == dst:
+            eject = router.out_links[2 * ndims]
+            return [(eject, eject.vcs_for_net(packet.logical_net))]
+        if adaptive:
+            return _route_adaptive(router, packet, cur, dst)
+        for dim in range(ndims):
+            c, d = cur[dim], dst[dim]
+            if c == d:
+                continue
+            size = dims[dim]
+            if torus:
+                delta = (d - c) % size
+                positive = delta <= size // 2
+            else:
+                positive = d > c
+            out_port = 2 * dim if positive else 2 * dim + 1
+            link = router.out_links[out_port]
+            group = link.vcs_for_net(packet.logical_net)
+            if not torus:
+                # Any VC of the logical net (adaptive choice when > 1).
+                return [(link, group)]
+            wraps = (positive and c == size - 1) or (not positive and c == 0)
+            same_dim = in_port in (2 * dim, 2 * dim + 1)
+            if wraps:
+                cls = 1
+            elif same_dim:
+                in_link = router._input_units[in_port][in_vc].in_link
+                cls = vc_class(in_link, in_vc)
+            else:
+                cls = 0
+            return [(link, [group[cls]])]
+        raise AssertionError("unreachable: coordinates neither equal nor routed")
+
+    def _route_adaptive(router: Router, packet: Packet, cur, dst):
+        """Duato-style fully adaptive routing: any profitable direction on
+        the adaptive VCs, plus a dimension-order escape VC.  Choices are
+        tried in (shuffled-adaptive, escape) order; a blocked packet waits
+        on whichever frees first, and the escape sub-network's acyclic
+        dimension-order dependencies guarantee eventual progress."""
+        profitable = []
+        for dim in range(ndims):
+            c, d = cur[dim], dst[dim]
+            if c == d:
+                continue
+            out_port = 2 * dim if d > c else 2 * dim + 1
+            profitable.append(router.out_links[out_port])
+        choices = []
+        for link in profitable:
+            group = link.vcs_for_net(packet.logical_net)
+            choices.append((link, group[:-1]))  # adaptive classes
+        rng.shuffle(choices)
+        escape = profitable[0] if len(profitable) == 1 else None
+        if escape is None:
+            # dimension order: lowest unfinished dimension
+            for dim in range(ndims):
+                if cur[dim] != dst[dim]:
+                    port = 2 * dim if dst[dim] > cur[dim] else 2 * dim + 1
+                    escape = router.out_links[port]
+                    break
+        group = escape.vcs_for_net(packet.logical_net)
+        choices.append((escape, [group[-1]]))
+        return choices
+
+    routers = []
+    for rid in range(num_nodes):
+        router = Router(sim, rid, route, route_delay=route_delay)
+        net.add_router(router)
+        routers.append(router)
+
+    def make_link(name: str, dst_router: Router, dst_port: int, buf: int) -> Link:
+        return Link(
+            sim,
+            name,
+            width_bytes,
+            vc_count,
+            buf,
+            sink=dst_router,
+            sink_port=dst_port,
+            net_of_vc=layout,
+            drop_prob=drop_prob,
+            drop_rng=drop_rng,
+        )
+
+    # Inter-router links.
+    for rid in range(num_nodes):
+        cur = _coords(rid, dims)
+        for dim in range(ndims):
+            size = dims[dim]
+            for positive in (True, False):
+                coord = cur[dim]
+                if not torus:
+                    if positive and coord == size - 1:
+                        continue
+                    if not positive and coord == 0:
+                        continue
+                delta = 1 if positive else -1
+                neighbor = rid + strides[dim] * (
+                    ((coord + delta) % size) - coord
+                )
+                out_port = 2 * dim if positive else 2 * dim + 1
+                in_port = 2 * dim + 1 if positive else 2 * dim
+                link = make_link(
+                    f"{kind}:{rid}->{neighbor}", routers[neighbor], in_port,
+                    buffer_flits,
+                )
+                routers[neighbor].attach_in_link(in_port, link)
+                routers[rid].attach_out_link(out_port, link)
+                net.register_link(link, f"r{rid}", f"r{neighbor}")
+
+    # NIC attachment links (created now so the graph is complete; the
+    # ejection sink is bound when the NIC attaches).
+    nic_port = 2 * ndims
+    for rid in range(num_nodes):
+        router = routers[rid]
+        inj = make_link(f"{kind}:inj{rid}", router, nic_port, buffer_flits)
+        router.attach_in_link(nic_port, inj)
+        net.register_link(inj, f"n{rid}", f"r{rid}")
+        ej = Link(
+            sim,
+            f"{kind}:ej{rid}",
+            width_bytes,
+            vc_count,
+            eject_flits,
+            sink=None,
+            sink_port=0,
+            net_of_vc=layout,
+        )
+        router.attach_out_link(nic_port, ej)
+        net.register_link(ej, f"r{rid}", f"n{rid}")
+
+        def attach(nic, inj=inj, ej=ej):
+            nic.attach_injection(inj)
+            ej.set_sink(nic, 0)
+            nic.attach_ejection(ej)
+
+        net.set_nic_wiring(rid, attach)
+
+    return net

@@ -1,0 +1,123 @@
+"""Named network configurations: the paper's simulated topologies.
+
+``build_network(name, sim, num_nodes)`` constructs any of the eight 64-node
+networks of Table 3 (and smaller/larger instances of each for scalability
+runs).  Names:
+
+================  ==========================================================
+``mesh2d``        8x8 wormhole mesh, 1-byte links, single VC (in-order)
+``mesh3d``        4x4x4 wormhole mesh
+``torus2d``       8x8 torus, dateline VCs (can reorder packets)
+``fattree``       full 4-ary fat tree, cut-through
+``fattree-sf``    full 4-ary fat tree, store-and-forward
+``cm5``           CM-5-style fat tree: 2 parents in lower levels, 4-bit
+                  links, time-multiplexed request/reply networks
+``butterfly``     radix-4 butterfly, dilation 1 (unique paths, in-order)
+``multibutterfly``radix-4 multibutterfly, dilation 2 (adaptive)
+================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..routers import STORE_AND_FORWARD
+from ..sim import Simulator
+from .base import Network
+from .butterfly import build_butterfly
+from .fattree import CM5, FULL, build_fattree
+from .mesh import build_mesh
+
+NETWORK_NAMES = (
+    "mesh2d",
+    "mesh3d",
+    "torus2d",
+    "fattree",
+    "fattree-sf",
+    "cm5",
+    "butterfly",
+    "multibutterfly",
+)
+
+#: Extension topologies (Section 6.3 future work), not part of the paper's
+#: Table 3 set but buildable by name.
+EXTENSION_NETWORK_NAMES = ("mesh2d-adaptive",)
+
+
+def _square_dims(num_nodes: int):
+    side = int(round(math.sqrt(num_nodes)))
+    if side * side != num_nodes:
+        raise ValueError(f"{num_nodes} nodes is not a square mesh size")
+    return (side, side)
+
+
+def _cube_dims(num_nodes: int):
+    side = int(round(num_nodes ** (1 / 3)))
+    if side ** 3 != num_nodes:
+        raise ValueError(f"{num_nodes} nodes is not a cubic mesh size")
+    return (side, side, side)
+
+
+def _log_k(num_nodes: int, k: int) -> int:
+    levels = int(round(math.log(num_nodes, k)))
+    if k ** levels != num_nodes:
+        raise ValueError(f"{num_nodes} is not a power of {k}")
+    return levels
+
+
+def build_network(
+    name: str,
+    sim: Simulator,
+    num_nodes: int = 64,
+    rng: Optional[random.Random] = None,
+    drop_prob: float = 0.0,
+    drop_rng=None,
+    **overrides,
+) -> Network:
+    """Build one of the paper's networks by name."""
+    rng = rng or random.Random(0)
+    common = dict(drop_prob=drop_prob, drop_rng=drop_rng)
+    if name == "mesh2d":
+        return build_mesh(sim, _square_dims(num_nodes), **common, **overrides)
+    if name == "mesh2d-adaptive":
+        return build_mesh(
+            sim, _square_dims(num_nodes), adaptive=True, rng=rng,
+            **common, **overrides,
+        )
+    if name == "mesh3d":
+        return build_mesh(sim, _cube_dims(num_nodes), **common, **overrides)
+    if name == "torus2d":
+        return build_mesh(
+            sim, _square_dims(num_nodes), torus=True, **common, **overrides
+        )
+    if name == "fattree":
+        return build_fattree(
+            sim, levels=_log_k(num_nodes, 4), variant=FULL, rng=rng,
+            **common, **overrides,
+        )
+    if name == "fattree-sf":
+        return build_fattree(
+            sim, levels=_log_k(num_nodes, 4), variant=FULL,
+            mode=STORE_AND_FORWARD, rng=rng, **common, **overrides,
+        )
+    if name == "cm5":
+        return build_fattree(
+            sim, levels=_log_k(num_nodes, 4), variant=CM5, rng=rng,
+            **common, **overrides,
+        )
+    if name == "butterfly":
+        return build_butterfly(
+            sim, stages=_log_k(num_nodes, 4), dilation=1, rng=rng,
+            **common, **overrides,
+        )
+    if name == "multibutterfly":
+        return build_butterfly(
+            sim, stages=_log_k(num_nodes, 4), dilation=2, rng=rng,
+            **common, **overrides,
+        )
+    raise ValueError(
+        f"unknown network {name!r}; choose from "
+        f"{NETWORK_NAMES + EXTENSION_NETWORK_NAMES}"
+    )

@@ -1,0 +1,29 @@
+"""Network interfaces: the NIFDY unit and the baseline NICs it is compared to."""
+
+from .base import BaseNIC
+from .bulk import (
+    BulkReceiverDialog,
+    BulkSender,
+    wire_decode_sequence,
+    wire_encode_sequence,
+)
+from .nifdy import NifdyNIC, NifdyParams
+from .opt import OutstandingPacketTable
+from .plain import BufferedNIC, PlainNIC
+from .pool import OutgoingPool
+from .retransmit import RetransmittingNifdyNIC
+
+__all__ = [
+    "BaseNIC",
+    "BufferedNIC",
+    "BulkReceiverDialog",
+    "BulkSender",
+    "NifdyNIC",
+    "NifdyParams",
+    "OutgoingPool",
+    "OutstandingPacketTable",
+    "PlainNIC",
+    "RetransmittingNifdyNIC",
+    "wire_decode_sequence",
+    "wire_encode_sequence",
+]

@@ -1,0 +1,225 @@
+"""Common NIC machinery: injection/ejection plumbing shared by all NICs.
+
+Every NIC variant (plain, buffers-only, NIFDY) sits between a processor and
+a router port.  The *injection* side feeds flits onto the node's injection
+link(s); the *ejection* side is the sink of the node's ejection link(s),
+assembling flits back into packets.  Credits on the ejection link are the
+network-visible backpressure: a NIC that leaves an ejected packet unconsumed
+(e.g. its arrivals FIFO is full) withholds the credits, which eventually
+blocks the network -- the end-point congestion the paper studies.
+
+Most topologies demand-multiplex the request and reply logical networks over
+one physical channel, so the NIC has a single injection and a single ejection
+link carrying both nets' VCs.  The CM-5 imitation time-multiplexes the nets,
+modelled as one half-bandwidth link per net (``attach_injection_pair`` /
+``attach_ejection_pair``).
+
+The processor-facing interface is uniform:
+
+* ``try_send(packet)``  -- hand a packet to the NIC; False if the NIC cannot
+  buffer it (the processor must retry, typically after polling).
+* ``has_arrival()`` / ``receive()`` -- polling reception; ``receive`` pops the
+  next in-FIFO packet.  The processor calls :meth:`accepted` once its receive
+  overhead has elapsed, which is when NIFDY generates acks (footnote 2 of the
+  paper: acking earlier, on FIFO insert, is "surprisingly less effective" --
+  we keep that as an ablation flag).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..links import FlitFeeder, FlitSink, Link
+from ..packets import Packet
+from ..sim import Simulator
+
+
+class _InjectionStream:
+    """One packet currently streaming onto an injection-link VC."""
+
+    __slots__ = ("packet", "flits_sent")
+
+    def __init__(self, packet: Packet):
+        self.packet = packet
+        self.flits_sent = 0
+
+
+class BaseNIC(FlitFeeder, FlitSink):
+    """Plumbing shared by every NIC variant."""
+
+    def __init__(self, sim: Simulator, node_id: int):
+        self.sim = sim
+        self.node_id = node_id
+        self._inj_links: List[Link] = []
+        self._inj_by_net: Dict[int, Link] = {}
+        self._ej_links: Dict[int, Link] = {}
+        # injection: at most one stream per (link, VC)
+        self._inj_streams: Dict[Tuple[int, int], _InjectionStream] = {}
+        self._port_retries: set = set()
+        # ejection: per-(port, VC) partial packet flit counts
+        self._ej_flits: Dict[Tuple[int, int], int] = {}
+        # statistics
+        self.packets_injected = 0
+        self.packets_ejected = 0
+        self.packets_accepted = 0
+        # hooks for experiment-level accounting
+        self.on_accept: Optional[Callable[[Packet], None]] = None
+        self.on_inject: Optional[Callable[[Packet], None]] = None
+
+    # ------------------------------------------------------------- wiring
+    def attach_injection(self, link: Link) -> None:
+        """Single injection link carrying every logical network's VCs."""
+        self._inj_links = [link]
+        self._inj_by_net = {net: link for net in set(link.net_of_vc)}
+
+    def attach_injection_pair(self, links: Sequence[Link]) -> None:
+        """One injection link per logical network (CM-5 time-mux model)."""
+        self._inj_links = list(links)
+        self._inj_by_net = {}
+        for link in links:
+            for net in set(link.net_of_vc):
+                self._inj_by_net[net] = link
+
+    def attach_ejection(self, link: Link) -> None:
+        self._ej_links = {link.sink_port: link}
+
+    def attach_ejection_pair(self, links: Sequence[Link]) -> None:
+        self._ej_links = {link.sink_port: link for link in links}
+
+    @property
+    def inj_link(self) -> Link:
+        """The injection link (single-link topologies)."""
+        if len(self._inj_links) != 1:
+            raise RuntimeError("NIC has multiple injection links; use per-net")
+        return self._inj_links[0]
+
+    def _inj_link_for(self, net: int) -> Link:
+        return self._inj_by_net[net]
+
+    # ------------------------------------------------------ injection side
+    def _start_injection(self, packet: Packet) -> bool:
+        """Begin streaming ``packet`` onto its logical network's link.
+
+        A data packet and an ack can stream concurrently (on different VCs,
+        interleaving flits on the wire), but two packets of the same logical
+        network serialise.  Returns False when every VC of the packet's
+        logical network is busy.
+        """
+        link = self._inj_link_for(packet.logical_net)
+        lid = id(link)
+        candidates = [
+            vc for vc in link.vcs_for_net(packet.logical_net)
+            if (lid, vc) not in self._inj_streams
+        ]
+        if not candidates:
+            return False
+        vc = link.allocate_vc(packet, self, candidates)
+        if vc is None:
+            return False
+        self._inj_streams[(lid, vc)] = _InjectionStream(packet)
+        packet.injected_cycle = self.sim.now
+        if (
+            self.on_inject is not None
+            and packet.is_data
+            and not packet.control_only
+            and not packet.is_retransmission
+        ):
+            self.on_inject(packet)
+        link.notify_flit_ready(vc)
+        return True
+
+    def _injection_port_free(self, net: int) -> bool:
+        """True when some VC of ``net`` is both unclaimed by us and released
+        by the link (a finished packet's VC frees only once its tail flit has
+        fully crossed the wire, a few cycles after our stream ends)."""
+        link = self._inj_link_for(net)
+        lid = id(link)
+        return any(
+            (lid, vc) not in self._inj_streams and link.vc_free(vc)
+            for vc in link.vcs_for_net(net)
+        )
+
+    def _retry_when_port_frees(self, key: str, net: int, fn: Callable[[], None]) -> None:
+        """Re-run ``fn`` when an injection VC releases (at most one pending
+        retry per ``key``, so repeated pump attempts don't pile up)."""
+        if key in self._port_retries:
+            return
+        self._port_retries.add(key)
+
+        def _fire() -> None:
+            self._port_retries.discard(key)
+            fn()
+
+        self._inj_link_for(net).add_alloc_waiter(_fire)
+
+    # FlitFeeder interface ---------------------------------------------------
+    def has_flit_ready(self, link: Link, vc: int) -> bool:
+        return (id(link), vc) in self._inj_streams
+
+    def take_flit(self, link: Link, vc: int):
+        stream = self._inj_streams[(id(link), vc)]
+        stream.flits_sent += 1
+        is_head = stream.flits_sent == 1
+        is_tail = stream.flits_sent == stream.packet.flits
+        if is_tail:
+            del self._inj_streams[(id(link), vc)]
+            self.packets_injected += 1
+            # Let the subclass queue the next packet for this VC.
+            self.sim.schedule(0, self._on_injection_complete, stream.packet)
+        return stream.packet, is_head, is_tail
+
+    def _on_injection_complete(self, packet: Packet) -> None:
+        """Called (next cycle) after a packet's tail left the NIC."""
+
+    # ------------------------------------------------------- ejection side
+    # FlitSink interface
+    def accept_flit(
+        self, port: int, vc: int, packet: Packet, is_head: bool, is_tail: bool
+    ) -> None:
+        key = (port, vc)
+        self._ej_flits[key] = self._ej_flits.get(key, 0) + 1
+        if is_tail:
+            if self._ej_flits[key] < packet.flits:
+                # Flits of a packet arrive contiguously per VC.
+                raise RuntimeError(
+                    f"node {self.node_id}: tail before all flits of {packet}"
+                )
+            self._ej_flits[key] -= packet.flits
+            self.packets_ejected += 1
+            self._on_packet_ejected(packet, vc, port)
+
+    def _release_ejection(self, packet: Packet, vc: int, port: int = 0) -> None:
+        """Return the ejection-buffer credits held by ``packet``."""
+        link = self._ej_links[port]
+        for _ in range(packet.flits):
+            link.return_credit(vc)
+
+    def _on_packet_ejected(self, packet: Packet, vc: int, port: int) -> None:
+        raise NotImplementedError
+
+    # --------------------------------------------------- processor interface
+    def try_send(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def can_send(self) -> bool:
+        """Cheap check used by processors to avoid building a packet early."""
+        raise NotImplementedError
+
+    def has_arrival(self) -> bool:
+        raise NotImplementedError
+
+    def receive(self) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def accepted(self, packet: Packet) -> None:
+        """Processor finished its receive overhead for ``packet``."""
+        self.packets_accepted += 1
+        packet.delivered_cycle = self.sim.now
+        if self.on_accept is not None:
+            self.on_accept(packet)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def guarantees_order(self) -> bool:
+        """Whether software may rely on per-sender in-order delivery."""
+        return False

@@ -1,0 +1,152 @@
+"""Bulk dialog state machines (sender and receiver sides).
+
+Section 2.1.2: a sender requests a bulk dialog by setting the bulk-request
+bit on a (scalar) packet; the receiver grants by returning a dialog number in
+the ack, or signals rejection.  A sender maintains at most ONE outgoing
+dialog; a receiver maintains at most D incoming dialogs, each with W hardware
+packet buffers driven as a sliding window with one combined ack per W/2
+delivered packets (Section 2.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..packets import Packet
+
+
+def wire_encode_sequence(seq: int, window: int) -> int:
+    """Encode an absolute sequence number for the wire: seq mod 2W.
+
+    Section 2.1.2: "Sequence numbers, which need only be as large as W, are
+    included in the header of each packet" -- a log2(2W)-bit field suffices
+    because the window protocol keeps at most W packets unacknowledged."""
+    return seq % (2 * window)
+
+
+def wire_decode_sequence(
+    wire_seq: int, next_expected: int, window: int
+) -> Tuple[int, bool]:
+    """Recover (absolute sequence, is_old_duplicate) from a wire field.
+
+    Given the invariant that live packets lie in
+    ``[next_expected, next_expected + W)``, the offset of the wire value
+    from ``next_expected`` (mod 2W) is unambiguous: offsets below W are
+    live packets, offsets in [W, 2W) can only be duplicates of packets
+    delivered within the last W (a lossy network's retransmission race,
+    Section 6.2)."""
+    space = 2 * window
+    delta = (wire_seq - next_expected) % space
+    if delta < window:
+        return next_expected + delta, False
+    return next_expected + delta - space, True
+
+
+class BulkSender:
+    """Sender-side record of the (single) outgoing bulk dialog."""
+
+    __slots__ = ("dst", "dialog", "granted", "credits", "next_seq", "exited",
+                 "exit_acked")
+
+    def __init__(self, dst: int):
+        self.dst = dst
+        self.dialog: Optional[int] = None
+        self.granted = False
+        self.credits = 0
+        self.next_seq = 0
+        self.exited = False       # bulk-exit packet has been injected
+        self.exit_acked = False   # receiver confirmed dialog teardown
+
+    def grant(self, dialog: int, credits: int) -> None:
+        self.dialog = dialog
+        self.granted = True
+        self.credits = credits
+
+    def take_credit(self) -> int:
+        """Consume one window credit; returns the sequence number to use."""
+        if self.credits <= 0:
+            raise RuntimeError("bulk send without window credit")
+        self.credits -= 1
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "granted" if self.granted else "requesting"
+        if self.exited:
+            state = "exiting"
+        return f"<BulkSender dst={self.dst} {state} credits={self.credits}>"
+
+
+class BulkReceiverDialog:
+    """Receiver-side record of one incoming bulk dialog.
+
+    ``buffers`` is the hardware reorder store: W packet slots.  Sequence
+    numbers are modelled as unbounded integers; hardware would use
+    ``seq mod 2W`` which is unambiguous because at most W packets are
+    unacknowledged at any time.
+    """
+
+    __slots__ = ("src", "dialog", "window", "next_deliver_seq", "buffers",
+                 "freed_since_ack", "exiting", "exit_seq")
+
+    def __init__(self, src: int, dialog: int, window: int):
+        self.src = src
+        self.dialog = dialog
+        self.window = window
+        self.next_deliver_seq = 0
+        self.buffers: Dict[int, Packet] = {}
+        self.freed_since_ack = 0
+        self.exiting = False
+        self.exit_seq: Optional[int] = None
+
+    def store(self, packet: Packet) -> None:
+        if packet.seq is None:
+            raise RuntimeError(f"bulk packet without sequence number: {packet}")
+        if packet.seq in self.buffers or packet.seq < self.next_deliver_seq:
+            raise RuntimeError(f"duplicate bulk sequence {packet.seq} from {self.src}")
+        if len(self.buffers) >= self.window:
+            raise RuntimeError(
+                f"reorder buffer overflow: sender violated window of {self.window}"
+            )
+        # Verify the header field really needs only log2(2W) bits: the
+        # mod-2W wire encoding must reconstruct the absolute sequence.
+        decoded, duplicate = wire_decode_sequence(
+            wire_encode_sequence(packet.seq, self.window),
+            self.next_deliver_seq,
+            self.window,
+        )
+        if duplicate or decoded != packet.seq:
+            raise RuntimeError(
+                f"sequence {packet.seq} not representable in a mod-{2 * self.window} "
+                "header field: window invariant violated"
+            )
+        self.buffers[packet.seq] = packet
+        if packet.bulk_exit:
+            self.exiting = True
+            self.exit_seq = packet.seq
+
+    def next_in_order(self) -> Optional[Packet]:
+        """The packet that can be delivered next, if it has arrived."""
+        return self.buffers.get(self.next_deliver_seq)
+
+    def pop_next(self) -> Packet:
+        packet = self.buffers.pop(self.next_deliver_seq)
+        self.next_deliver_seq += 1
+        self.freed_since_ack += 1
+        return packet
+
+    @property
+    def complete(self) -> bool:
+        """All packets through the exit packet have been delivered."""
+        return (
+            self.exiting
+            and self.exit_seq is not None
+            and self.next_deliver_seq > self.exit_seq
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<BulkDialog src={self.src} #{self.dialog} "
+            f"next={self.next_deliver_seq} buffered={len(self.buffers)}>"
+        )

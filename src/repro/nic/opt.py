@@ -1,0 +1,46 @@
+"""The Outstanding Packet Table (OPT).
+
+Section 2.3: a small content-addressable memory whose tags are destination
+node ids; the number of tags is O, the maximum number of outstanding scalar
+packets.  The protocol guarantees at most one outstanding scalar packet per
+destination, so membership is a set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+
+class OutstandingPacketTable:
+    """Set of destinations with an unacknowledged scalar packet in flight."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("OPT capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: Set[int] = set()
+
+    def __contains__(self, dst: int) -> bool:
+        return dst in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def add(self, dst: int) -> None:
+        if dst in self._entries:
+            raise RuntimeError(f"destination {dst} already has an outstanding packet")
+        if self.full:
+            raise RuntimeError("OPT overflow: injected past the admission limit")
+        self._entries.add(dst)
+
+    def remove(self, dst: int) -> None:
+        if dst not in self._entries:
+            raise RuntimeError(f"ack from {dst} but no OPT entry for it")
+        self._entries.discard(dst)

@@ -1,0 +1,124 @@
+"""Baseline NICs: plain (no NIFDY) and buffers-only.
+
+``PlainNIC`` models a conventional MPP network interface: a single outgoing
+staging buffer and a small arrivals FIFO.  When the network cannot accept the
+staged packet the processor is simply blocked from sending -- backpressure is
+the only flow control, exactly the situation Section 1.1 describes.
+
+``BufferedNIC`` is the paper's "buffering only" configuration (Section 3):
+the NIFDY units are present but the protocol is disabled, so their buffer
+space is usable as a deeper outgoing FIFO and a deeper arrivals queue, "in
+order to make the fairest comparison ... the same total amount of buffering
+is always used, although ... it is redistributed to be most effective"
+(at least half of it on the arrivals queue).  The outgoing queue is strictly
+FIFO, so it suffers the head-of-line blocking NIFDY's rank/eligibility pool
+removes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..packets import Packet
+from ..sim import Simulator
+from .base import BaseNIC
+
+
+class PlainNIC(BaseNIC):
+    """Direct-injection NIC without admission control.
+
+    ``arrivals_capacity`` is in packets.  ``out_capacity`` of 1 models the
+    staging register of a bare network interface.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        out_capacity: int = 1,
+        arrivals_capacity: int = 2,
+    ):
+        super().__init__(sim, node_id)
+        if out_capacity < 1 or arrivals_capacity < 1:
+            raise ValueError("NIC buffer capacities must be at least 1")
+        self.out_capacity = out_capacity
+        self.arrivals_capacity = arrivals_capacity
+        self._out_queue: Deque[Packet] = deque()
+        self._arrivals: Deque[Packet] = deque()
+        self._stalled: Deque[tuple] = deque()  # (packet, vc) awaiting FIFO space
+        self._inj_pending = False
+
+    # ------------------------------------------------------------ send path
+    def can_send(self) -> bool:
+        return len(self._out_queue) < self.out_capacity
+
+    def try_send(self, packet: Packet) -> bool:
+        if len(self._out_queue) >= self.out_capacity:
+            return False
+        packet.created_cycle = (
+            packet.created_cycle if packet.created_cycle >= 0 else self.sim.now
+        )
+        self._out_queue.append(packet)
+        self._pump_injection()
+        return True
+
+    def _pump_injection(self) -> None:
+        while self._out_queue:
+            head = self._out_queue[0]
+            if not self._injection_port_free(head.logical_net) or not self._start_injection(head):
+                self._retry_when_port_frees("out", head.logical_net, self._pump_injection)
+                return
+            self._out_queue.popleft()
+
+    def _on_injection_complete(self, packet: Packet) -> None:
+        self._pump_injection()
+
+    # --------------------------------------------------------- receive path
+    def _on_packet_ejected(self, packet: Packet, vc: int, port: int) -> None:
+        if len(self._arrivals) < self.arrivals_capacity:
+            self._arrivals.append(packet)
+            self._release_ejection(packet, vc, port)
+        else:
+            # Withhold credits: the network backs up behind this node.
+            self._stalled.append((packet, vc, port))
+
+    def has_arrival(self) -> bool:
+        return bool(self._arrivals)
+
+    def receive(self) -> Optional[Packet]:
+        if not self._arrivals:
+            return None
+        packet = self._arrivals.popleft()
+        while self._stalled and len(self._arrivals) < self.arrivals_capacity:
+            stalled_pkt, vc, port = self._stalled.popleft()
+            self._arrivals.append(stalled_pkt)
+            self._release_ejection(stalled_pkt, vc, port)
+        return packet
+
+    # ------------------------------------------------------------- queries
+    @property
+    def pending_out(self) -> int:
+        return len(self._out_queue)
+
+
+class BufferedNIC(PlainNIC):
+    """The paper's "buffering only" configuration.
+
+    ``total_buffers`` is the packet-buffer budget of the NIFDY configuration
+    it is being compared against (B + arrivals + D*W); at least half goes to
+    the arrivals queue, the rest to the outgoing FIFO.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, total_buffers: int = 16):
+        if total_buffers < 2:
+            raise ValueError("buffers-only NIC needs at least 2 packet buffers")
+        arrivals = max(1, (total_buffers + 1) // 2)
+        outgoing = max(1, total_buffers - arrivals)
+        super().__init__(
+            sim,
+            node_id,
+            out_capacity=outgoing,
+            arrivals_capacity=arrivals,
+        )
+        self.total_buffers = total_buffers

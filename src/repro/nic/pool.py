@@ -1,0 +1,80 @@
+"""The outgoing buffer pool with its rank/eligibility discipline.
+
+Section 2.1.1: packets enter the pool from the processor; the
+rank/eligibility unit ranks each packet relative to other packets for the
+same destination, and only rank-zero ("eligible") packets may be injected.
+Keeping the pool in insertion order and selecting the *frontmost* packet per
+destination is exactly equivalent to the paper's explicit rank counters (a
+packet's rank is the number of pool/outstanding packets ahead of it for the
+same destination), so that is how we implement it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Iterator, List, Optional
+
+from ..packets import Packet
+
+
+class OutgoingPool:
+    """B packet buffers holding packets the processor has handed to NIFDY."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("pool capacity must be at least 1")
+        self.capacity = capacity
+        self._queues: "OrderedDict[int, Deque[Packet]]" = OrderedDict()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._count
+
+    def insert(self, packet: Packet) -> bool:
+        """Add ``packet``; False when all B buffers are occupied."""
+        if self._count >= self.capacity:
+            return False
+        queue = self._queues.get(packet.dst)
+        if queue is None:
+            queue = deque()
+            self._queues[packet.dst] = queue
+        queue.append(packet)
+        self._count += 1
+        return True
+
+    def destinations(self) -> List[int]:
+        """Destinations that have at least one waiting packet, in the order
+        their first packet arrived (used for round-robin selection)."""
+        return list(self._queues.keys())
+
+    def front(self, dst: int) -> Optional[Packet]:
+        """The frontmost (rank-zero candidate) packet for ``dst``."""
+        queue = self._queues.get(dst)
+        return queue[0] if queue else None
+
+    def pop_front(self, dst: int) -> Packet:
+        """Remove and return the frontmost packet for ``dst``."""
+        queue = self._queues.get(dst)
+        if not queue:
+            raise RuntimeError(f"no pool packet for destination {dst}")
+        packet = queue.popleft()
+        if not queue:
+            del self._queues[dst]
+        self._count -= 1
+        return packet
+
+    def count_for(self, dst: int) -> int:
+        queue = self._queues.get(dst)
+        return len(queue) if queue else 0
+
+    def __iter__(self) -> Iterator[Packet]:
+        for queue in self._queues.values():
+            yield from queue

@@ -1,0 +1,194 @@
+"""NIFDY extension for unreliable networks (Section 6.2).
+
+"To handle networks that drop packets the sender must be able to retransmit
+packets.  In addition, the receiver must be able to distinguish and eliminate
+duplicate packets.  To accomplish retransmission we add one timer and one
+message buffer per entry in the OPT and per outgoing bulk packet. ... To
+distinguish duplicate packets, one additional bit in the header is enough for
+both scalar and bulk packets."
+
+Sender side: every injected data packet is held (with a timer) until it is
+covered by an ack; on timeout it is re-injected ahead of new traffic.
+Receiver side: scalar duplicates are detected with the alternating
+``retx_bit``; bulk duplicates with the sequence number.  Duplicates are
+discarded but re-acked, because the duplicate usually means the *ack* was
+lost.  Acks themselves can be dropped, so bulk window credits are recovered
+from the cumulative ``acked_seq`` an ack carries rather than from the
+incremental credit count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..packets import AckInfo, Packet, PacketKind
+from ..sim import Event, Simulator
+from .nifdy import NifdyNIC, NifdyParams
+
+
+class RetransmittingNifdyNIC(NifdyNIC):
+    """NIFDY with timers, retransmission, and duplicate elimination.
+
+    ``retx_timeout`` should comfortably exceed the loaded round-trip time;
+    the paper notes this timeout has the same sensitivity as Compressionless
+    Routing's abort timeout, and it is the one parameter worth sweeping on a
+    lossy network (see the ablation bench).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: Optional[NifdyParams] = None,
+        retx_timeout: int = 1000,
+        max_retries: int = 50,
+    ):
+        super().__init__(sim, node_id, params)
+        if self.params.scalar_ack_on_insert:
+            # The 1-bit duplicate filter needs the receiver's bit to advance
+            # in lockstep with ack emission (at FIFO pop); acking at insert
+            # would let two live packets alias one bit.
+            raise ValueError(
+                "scalar_ack_on_insert is incompatible with retransmission"
+            )
+        self.retx_timeout = retx_timeout
+        self.max_retries = max_retries
+        # sender side -------------------------------------------------------
+        self._hold: Dict[Tuple, Tuple[Packet, Event, int]] = {}
+        self._next_bit: Dict[int, int] = {}       # per-destination scalar bit
+        # receiver side -----------------------------------------------------
+        self._last_acked_bit: Dict[int, int] = {}
+        self._infifo_bits: Dict[int, int] = {}     # src -> bit in FIFO, if any
+        # statistics
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+
+    # ------------------------------------------------------------- sender
+    def _commit_scalar(self, dst: int) -> Packet:
+        packet = super()._commit_scalar(dst)
+        bit = self._next_bit.get(dst, 0) ^ 1
+        self._next_bit[dst] = bit
+        packet.retx_bit = bit
+        self._arm(("s", dst), packet)
+        return packet
+
+    def _commit_bulk(self, dst: int, bulk) -> Packet:
+        packet = super()._commit_bulk(dst, bulk)
+        self._arm(("b", packet.dialog, packet.seq), packet)
+        return packet
+
+    def _queue_control_exit(self, bulk) -> Packet:
+        exit_packet = super()._queue_control_exit(bulk)
+        self._arm(("b", exit_packet.dialog, exit_packet.seq), exit_packet)
+        return exit_packet
+
+    def _arm(self, key: Tuple, packet: Packet, tries: int = 0) -> None:
+        event = self.sim.schedule(self.retx_timeout, self._timeout, key)
+        self._hold[key] = (packet, event, tries)
+
+    def _disarm(self, key: Tuple) -> None:
+        held = self._hold.pop(key, None)
+        if held is not None:
+            held[1].cancel()
+
+    def _timeout(self, key: Tuple) -> None:
+        held = self._hold.get(key)
+        if held is None:
+            return
+        packet, _, tries = held
+        if tries >= self.max_retries:
+            raise RuntimeError(
+                f"node {self.node_id}: gave up retransmitting {packet} "
+                f"after {tries} tries"
+            )
+        packet.is_retransmission = True
+        self.retransmissions += 1
+        self._arm(key, packet, tries + 1)
+        self._control_queue.append(packet)
+        self._pump_data()
+
+    def _process_ack(self, ack: Packet) -> None:
+        info = ack.ack
+        peer = ack.src
+        if info.for_scalar:
+            held = self._hold.get(("s", peer))
+            if held is None or held[0].retx_bit != info.acked_bit:
+                # Duplicate or stale ack: the packet it covers has already
+                # been acked (and a newer one may be in flight) -- ignore.
+                self.acks_received += 1
+                self.duplicates_dropped += 1
+                return
+            self._disarm(("s", peer))
+        else:
+            bulk = self._bulk_out
+            if bulk is not None and bulk.dst == peer and bulk.dialog == info.dialog:
+                if info.acked_seq is not None and info.acked_seq >= 0:
+                    # Cumulative credit recovery: everything through
+                    # acked_seq is delivered, so the window refills to
+                    # W - in_flight regardless of which acks were lost.
+                    for seq in range(info.acked_seq + 1):
+                        self._disarm(("b", info.dialog, seq))
+                    in_flight = bulk.next_seq - (info.acked_seq + 1)
+                    target = self.params.window - in_flight
+                    info.credits = max(0, target - bulk.credits)
+        super()._process_ack(ack)
+
+    # ------------------------------------------------------------ receiver
+    def _on_packet_ejected(self, packet: Packet, vc: int, port: int) -> None:
+        # A duplicate data packet is discarded below, but any ack riding in
+        # its header is still fresh protocol state -- process it first.
+        self._note_piggyback(packet)
+        if packet.kind is PacketKind.SCALAR and packet.needs_ack:
+            bit = packet.retx_bit
+            src = packet.src
+            if self._last_acked_bit.get(src) == bit:
+                # Duplicate of an already-acked packet: the ack was lost.
+                self.duplicates_dropped += 1
+                self._release_ejection(packet, vc, port)
+                self._emit_scalar_ack(packet)
+                return
+            if self._infifo_bits.get(src) == bit:
+                # Duplicate of a packet still queued for the processor;
+                # its ack fires when that copy is popped, so just drop this.
+                self.duplicates_dropped += 1
+                self._release_ejection(packet, vc, port)
+                return
+            self._infifo_bits[src] = bit
+        elif packet.kind is PacketKind.BULK:
+            dialog = self._rx_dialogs.get(packet.dialog)
+            if dialog is None:
+                # Dialog already torn down; the terminated ack was lost.
+                self.duplicates_dropped += 1
+                self._release_ejection(packet, vc, port)
+                self._send_ack(
+                    packet.src,
+                    AckInfo(
+                        for_scalar=False,
+                        credits=0,
+                        dialog=packet.dialog,
+                        dialog_terminated=True,
+                        acked_seq=packet.seq,
+                    ),
+                )
+                return
+            if packet.seq < dialog.next_deliver_seq or packet.seq in dialog.buffers:
+                self.duplicates_dropped += 1
+                self._release_ejection(packet, vc, port)
+                self._emit_bulk_ack(dialog, terminate=False)
+                return
+        super()._on_packet_ejected(packet, vc, port)
+
+    def receive(self):
+        packet = super().receive()
+        if (
+            packet is not None
+            and packet.kind is PacketKind.SCALAR
+            and packet.needs_ack
+        ):
+            # The pop is the accept event (it is when the ack goes out), so
+            # the duplicate-filter bit must advance here too.
+            src = packet.src
+            self._last_acked_bit[src] = packet.retx_bit
+            if self._infifo_bits.get(src) == packet.retx_bit:
+                del self._infifo_bits[src]
+        return packet

@@ -1,0 +1,28 @@
+"""Processor model and CM-5-derived timing constants."""
+
+from .processor import (
+    Action,
+    Compute,
+    Done,
+    Ignore,
+    PollFor,
+    Processor,
+    Send,
+    TrafficDriver,
+    WaitBarrier,
+)
+from .timing import CM5_TIMING, Timing
+
+__all__ = [
+    "Action",
+    "CM5_TIMING",
+    "Compute",
+    "Done",
+    "Ignore",
+    "PollFor",
+    "Processor",
+    "Send",
+    "Timing",
+    "TrafficDriver",
+    "WaitBarrier",
+]

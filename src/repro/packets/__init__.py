@@ -1,0 +1,27 @@
+"""Packet formats shared by the NICs, routers, and traffic generators."""
+
+from .packet import (
+    ACK_WORDS,
+    FLIT_BYTES,
+    REPLY_NET,
+    REQUEST_NET,
+    SPLITC_PACKET_WORDS,
+    SYNTHETIC_PACKET_WORDS,
+    AckInfo,
+    Packet,
+    PacketKind,
+    make_ack,
+)
+
+__all__ = [
+    "ACK_WORDS",
+    "FLIT_BYTES",
+    "REPLY_NET",
+    "REQUEST_NET",
+    "SPLITC_PACKET_WORDS",
+    "SYNTHETIC_PACKET_WORDS",
+    "AckInfo",
+    "Packet",
+    "PacketKind",
+    "make_ack",
+]

@@ -1,0 +1,5 @@
+"""Router building blocks: input units, forwarding modes, route functions."""
+
+from .base import CUTTHROUGH, STORE_AND_FORWARD, InputUnit, RouteChoice, Router
+
+__all__ = ["CUTTHROUGH", "STORE_AND_FORWARD", "InputUnit", "RouteChoice", "Router"]

@@ -1,0 +1,233 @@
+"""Generic router: per-VC input units, routing, and output allocation.
+
+A router owns one :class:`InputUnit` per (input port, VC).  Forwarding is
+wormhole/virtual-cut-through by default -- a packet may start leaving as soon
+as its head flit is buffered -- or store-and-forward (``mode="sf"``), where a
+packet must be fully buffered before it competes for an output.
+
+Routing is supplied by the topology (a callable): given the packet, input
+port and input VC it returns an ordered list of ``(out_link, vc_candidates)``
+choices.  Deterministic routers return one choice; adaptive routers (fat-tree
+up-path, multibutterfly) return several and the first choice with a free VC
+wins, so packets between the same pair of nodes can take different paths and
+arrive out of order -- the situation NIFDY's reordering handles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..links import FlitFeeder, FlitSink, Link
+from ..packets import Packet
+from ..sim import Simulator
+
+#: A routing choice: (output link, candidate VC indices on that link).
+RouteChoice = Tuple[Link, Sequence[int]]
+
+#: Topology routing function.
+RouteFn = Callable[["Router", Packet, int, int], List[RouteChoice]]
+
+CUTTHROUGH = "cutthrough"
+STORE_AND_FORWARD = "sf"
+
+
+class _Transit:
+    """State of one packet occupying an input unit's buffer."""
+
+    __slots__ = (
+        "packet",
+        "flits_buffered",
+        "flits_forwarded",
+        "tail_arrived",
+        "route_ready",
+        "routing_scheduled",
+        "choices",
+        "out_link",
+        "out_vc",
+        "waiting_for_vc",
+    )
+
+    def __init__(self, packet: Packet):
+        self.packet = packet
+        self.flits_buffered = 0
+        self.flits_forwarded = 0
+        self.tail_arrived = False
+        self.route_ready = False
+        self.routing_scheduled = False
+        self.choices: List[RouteChoice] = []
+        self.out_link: Optional[Link] = None
+        self.out_vc = -1
+        self.waiting_for_vc = False
+
+
+class InputUnit(FlitFeeder):
+    """Buffer + forwarding state machine for one (port, VC) of a router."""
+
+    __slots__ = ("router", "port", "vc", "in_link", "queue")
+
+    def __init__(self, router: "Router", port: int, vc: int, in_link: Link):
+        self.router = router
+        self.port = port
+        self.vc = vc
+        self.in_link = in_link
+        self.queue: Deque[_Transit] = deque()
+
+    # ----------------------------------------------------------- sink side
+    def accept_flit(self, packet: Packet, is_head: bool, is_tail: bool) -> None:
+        if is_head:
+            self.queue.append(_Transit(packet))
+        transit = self.queue[-1]
+        if transit.packet is not packet:
+            raise RuntimeError(
+                f"router {self.router.rid} port {self.port} vc {self.vc}: "
+                f"interleaved flits of {packet} into {transit.packet}"
+            )
+        transit.flits_buffered += 1
+        if is_tail:
+            transit.tail_arrived = True
+        if transit is self.queue[0]:
+            self._advance_head()
+
+    # ------------------------------------------------------- head handling
+    def _advance_head(self) -> None:
+        if not self.queue:
+            return
+        transit = self.queue[0]
+        if transit.out_link is not None:
+            transit.out_link.notify_flit_ready(transit.out_vc)
+            return
+        if self.router.mode == STORE_AND_FORWARD and not transit.tail_arrived:
+            return
+        if not transit.route_ready:
+            if not transit.routing_scheduled:
+                transit.routing_scheduled = True
+                self.router.sim.schedule(
+                    self.router.route_delay, self._route_done, transit
+                )
+            return
+        self._try_allocate(transit)
+
+    def _route_done(self, transit: _Transit) -> None:
+        if not self.queue or self.queue[0] is not transit:
+            raise RuntimeError("routing completed for a packet that moved on")
+        transit.route_ready = True
+        transit.choices = self.router.route(transit.packet, self.port, self.vc)
+        if not transit.choices:
+            raise RuntimeError(
+                f"router {self.router.rid}: no route for {transit.packet} "
+                f"arriving on port {self.port}"
+            )
+        self._try_allocate(transit)
+
+    def _try_allocate(self, transit: _Transit) -> None:
+        if transit.out_link is not None:
+            return
+        for link, vc_candidates in transit.choices:
+            vc = link.allocate_vc(transit.packet, self, vc_candidates)
+            if vc is not None:
+                transit.out_link = link
+                transit.out_vc = vc
+                transit.waiting_for_vc = False
+                link.notify_flit_ready(vc)
+                return
+        if not transit.waiting_for_vc:
+            transit.waiting_for_vc = True
+            for link, _ in transit.choices:
+                link.add_alloc_waiter(lambda t=transit: self._retry_allocate(t))
+
+    def _retry_allocate(self, transit: _Transit) -> None:
+        if transit.out_link is not None:
+            return
+        if not self.queue or self.queue[0] is not transit:
+            return
+        transit.waiting_for_vc = False
+        self._try_allocate(transit)
+
+    # ---------------------------------------------------------- feeder side
+    def has_flit_ready(self, link: Link, vc: int) -> bool:
+        if not self.queue:
+            return False
+        transit = self.queue[0]
+        return (
+            transit.out_link is link
+            and transit.out_vc == vc
+            and transit.flits_buffered > 0
+        )
+
+    def take_flit(self, link: Link, vc: int):
+        transit = self.queue[0]
+        transit.flits_buffered -= 1
+        transit.flits_forwarded += 1
+        is_head = transit.flits_forwarded == 1
+        is_tail = transit.flits_forwarded == transit.packet.flits
+        self.in_link.return_credit(self.vc)
+        if is_tail:
+            self.queue.popleft()
+            if self.queue:
+                self._advance_head()
+        return transit.packet, is_head, is_tail
+
+    @property
+    def occupancy(self) -> int:
+        """Flits currently buffered in this input unit."""
+        return sum(t.flits_buffered for t in self.queue)
+
+
+class Router(FlitSink):
+    """A switch node.  Topologies attach input links and provide routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rid: int,
+        route_fn: RouteFn,
+        mode: str = CUTTHROUGH,
+        route_delay: int = 1,
+    ) -> None:
+        if mode not in (CUTTHROUGH, STORE_AND_FORWARD):
+            raise ValueError(f"unknown forwarding mode {mode!r}")
+        self.sim = sim
+        self.rid = rid
+        self.route_fn = route_fn
+        self.mode = mode
+        self.route_delay = route_delay
+        self._input_units: Dict[int, List[InputUnit]] = {}
+        self.out_links: Dict[int, Link] = {}
+
+    def attach_in_link(self, port: int, link: Link) -> None:
+        """Register ``link`` as the input channel for ``port``.
+
+        Creates one input unit per VC of the link.  The link must have been
+        built with this router as its sink and ``port`` as its sink port.
+        """
+        if port in self._input_units:
+            raise ValueError(f"router {self.rid}: port {port} already attached")
+        self._input_units[port] = [
+            InputUnit(self, port, vc, link) for vc in range(link.vc_count)
+        ]
+
+    def attach_out_link(self, port: int, link: Link) -> None:
+        if port in self.out_links:
+            raise ValueError(f"router {self.rid}: output port {port} already attached")
+        self.out_links[port] = link
+
+    # FlitSink interface -----------------------------------------------------
+    def accept_flit(
+        self, port: int, vc: int, packet: Packet, is_head: bool, is_tail: bool
+    ) -> None:
+        self._input_units[port][vc].accept_flit(packet, is_head, is_tail)
+
+    def route(self, packet: Packet, in_port: int, in_vc: int) -> List[RouteChoice]:
+        return self.route_fn(self, packet, in_port, in_vc)
+
+    def buffered_flits(self) -> int:
+        """Total flits currently buffered in this router (congestion probe)."""
+        return sum(
+            unit.occupancy
+            for units in self._input_units.values()
+            for unit in units
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Router {self.rid} ports={sorted(self._input_units)}>"

@@ -1,0 +1,116 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper's simulator (Section 3) steps every object synchronously, cycle by
+cycle.  We keep the same *observable* semantics -- all state changes happen at
+integer cycle boundaries, and simultaneous events fire in a deterministic
+order -- but use an event heap so idle components cost nothing.  Events that
+are scheduled for the same cycle fire in the order they were scheduled, which
+makes every run bit-for-bit reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Cancellation is O(1): the event is flagged and skipped when popped.
+    """
+
+    __slots__ = ("cycle", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, cycle: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.cycle = cycle
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.cycle, self.seq) < (other.cycle, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event @{self.cycle} #{self.seq}{state} {self.fn!r}>"
+
+
+class Simulator:
+    """Event-driven simulator with cycle-granularity virtual time."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: List[Event] = []
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, cycle: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute ``cycle``."""
+        if cycle < self._now:
+            raise ValueError(
+                f"cannot schedule at cycle {cycle}; current cycle is {self._now}"
+            )
+        event = Event(cycle, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_until(self, cycle: int) -> None:
+        """Run all events with timestamp strictly less than ``cycle``.
+
+        Afterwards ``self.now == cycle`` (unless the event queue drained
+        earlier, in which case ``now`` still advances to ``cycle``).
+        """
+        self._running = True
+        heap = self._heap
+        try:
+            while heap and heap[0].cycle < cycle:
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self._now = event.cycle
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        self._now = max(self._now, cycle)
+
+    def run(self, max_cycles: Optional[int] = None) -> None:
+        """Run until the event queue is empty (or ``max_cycles`` elapses)."""
+        if max_cycles is not None:
+            self.run_until(self._now + max_cycles)
+            return
+        heap = self._heap
+        self._running = True
+        try:
+            while heap:
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self._now = event.cycle
+                event.fn(*event.args)
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now} queued={len(self._heap)}>"

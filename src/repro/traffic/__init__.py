@@ -1,0 +1,25 @@
+"""The paper's traffic loads: synthetic heavy/light, C-shift, EM3D, radix sort."""
+
+from .cshift import CShiftConfig, CShiftDriver
+from .em3d import Em3dConfig, Em3dDriver
+from .hotspot import HotSpotConfig, HotSpotDriver
+from .messages import PacketFactory
+from .pairstream import PairStreamConfig, PairStreamDriver
+from .radix_sort import RadixSortConfig, RadixSortDriver
+from .synthetic import SyntheticConfig, SyntheticDriver
+
+__all__ = [
+    "CShiftConfig",
+    "CShiftDriver",
+    "Em3dConfig",
+    "Em3dDriver",
+    "HotSpotConfig",
+    "HotSpotDriver",
+    "PacketFactory",
+    "PairStreamConfig",
+    "PairStreamDriver",
+    "RadixSortConfig",
+    "RadixSortDriver",
+    "SyntheticConfig",
+    "SyntheticDriver",
+]

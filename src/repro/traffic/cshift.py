@@ -1,0 +1,84 @@
+"""The cyclic-shift (C-shift) all-to-all pattern (Section 4.3, after [BK94]).
+
+P-1 phases; in phase ``p`` processor ``i`` sends a block of packets to
+``(i + p) mod P``.  As long as phases stay separate every receiver has
+exactly one sender; but without barriers fast nodes run ahead into the next
+phase, giving some receivers two senders, which snowballs into the pile-ups
+Figure 5 visualises.  Strata's fix is a global barrier between phases; the
+paper shows NIFDY's admission control alone beats optimized barriers.
+
+Variants:
+
+* ``barriers=False`` -- free-running phases (the paper's NIFDY case).
+* ``barriers=True``  -- a barrier after each phase (the Strata baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..node import Action, Done, Send, TrafficDriver, WaitBarrier
+from ..packets import Packet, SPLITC_PACKET_WORDS
+from .messages import PacketFactory
+
+
+@dataclass
+class CShiftConfig:
+    """One block transfer per phase; sizes in payload words."""
+
+    words_per_phase: int = 120
+    barriers: bool = False
+    bulk_threshold: int = 4
+    packet_words: int = SPLITC_PACKET_WORDS
+    phases: int = 0  # 0 means P-1 (the full shift)
+
+
+class CShiftDriver(TrafficDriver):
+    """Per-node driver for the cyclic shift."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: CShiftConfig,
+        exploit_inorder: bool = False,
+    ):
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=config.bulk_threshold,
+            exploit_inorder=exploit_inorder,
+        )
+        self.phase = 1
+        self._queue: List[Packet] = []
+        self._pending_barrier = False
+        self.total_phases = config.phases or (num_nodes - 1)
+        self.finished_cycle = None
+
+    def next_action(self) -> Action:
+        if self._pending_barrier:
+            self._pending_barrier = False
+            return WaitBarrier()
+        if self.phase > self.total_phases:
+            if self.finished_cycle is None:
+                self.finished_cycle = self.proc.sim.now
+            return Done()
+        if not self._queue:
+            dst = (self.node_id + self.phase) % self.num_nodes
+            self._queue = self.factory.message_for_words(
+                dst, self.config.words_per_phase
+            )
+        packet = self._queue.pop(0)
+        if not self._queue:
+            # Message done: advance to the next phase (after a barrier, in
+            # the Strata-style variant).
+            self.phase += 1
+            self._pending_barrier = self.config.barriers
+        return Send(packet)
+
+    def on_packet(self, packet: Packet) -> None:
+        pass

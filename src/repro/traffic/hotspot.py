@@ -1,0 +1,99 @@
+"""Hot-spot traffic: many senders converging on one receiver.
+
+The paper's introduction lists hot spots as a primary source of internal
+congestion, and Section 5 claims NIFDY "handles the more general case with
+multiple nodes sending to one receiver, returning acks only at the rate at
+which the receiver accepts packets.  This throttles the combined injection
+rate of all the senders to a level that the receiver can handle" -- dynamic
+bandwidth matching that "would be difficult and expensive to implement in
+software".
+
+This workload sends a configurable fraction of each node's packets to one
+hot node and the rest uniformly; the interesting observable is not the hot
+node's throughput (it is pinned at its receive rate either way) but the
+*background* traffic, which secondary blocking around the hot spot destroys
+unless admission is controlled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..node import Action, Done, PollFor, Send, TrafficDriver
+from ..packets import Packet, SYNTHETIC_PACKET_WORDS
+from ..sim import RngFactory
+from .messages import PacketFactory
+
+
+@dataclass
+class HotSpotConfig:
+    """Uniform random traffic with a converging hot-spot component."""
+
+    hot_node: int = 0
+    hot_fraction: float = 0.25
+    packets_per_node: int = 200
+    message_length: int = 1
+    send_gap_cycles: int = 0      # optional pacing between sends
+    bulk_threshold: int = 4
+    packet_words: int = SYNTHETIC_PACKET_WORDS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be a probability")
+
+
+class HotSpotDriver(TrafficDriver):
+    """Per-node driver: fixed packet budget, hot-spot-biased destinations."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: HotSpotConfig,
+        rng_factory: RngFactory,
+        exploit_inorder: bool = False,
+    ):
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.rng = rng_factory.stream(f"hotspot:{node_id}")
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=config.bulk_threshold,
+            exploit_inorder=exploit_inorder,
+        )
+        self.sent_quota = 0
+        self._queue: List[Packet] = []
+        self._gap_owed = False
+        self.is_hot = node_id == config.hot_node
+        self.background_received = 0
+        self.hot_received = 0
+
+    def _pick_destination(self) -> int:
+        cfg = self.config
+        if not self.is_hot and self.rng.random() < cfg.hot_fraction:
+            return cfg.hot_node
+        dst = self.rng.randrange(self.num_nodes - 1)
+        return dst if dst < self.node_id else dst + 1
+
+    def next_action(self) -> Action:
+        cfg = self.config
+        if self._gap_owed and cfg.send_gap_cycles > 0:
+            self._gap_owed = False
+            return PollFor(cfg.send_gap_cycles)
+        if not self._queue:
+            if self.sent_quota >= cfg.packets_per_node:
+                return Done()
+            length = min(cfg.message_length, cfg.packets_per_node - self.sent_quota)
+            self._queue = self.factory.message(self._pick_destination(), length)
+        self.sent_quota += 1
+        self._gap_owed = True
+        return Send(self._queue.pop(0))
+
+    def on_packet(self, packet: Packet) -> None:
+        if self.is_hot:
+            self.hot_received += 1
+        else:
+            self.background_received += 1

@@ -1,0 +1,121 @@
+"""Packet construction shared by all workloads.
+
+Handles the bookkeeping the paper's Section 2.2 discusses:
+
+* every packet carries its source id (free under NIFDY, since the protocol
+  needs it anyway);
+* multi-packet messages above ``bulk_threshold`` packets request a bulk
+  dialog (the software-set bulk-request header bit);
+* when a message is specified by *data words* rather than packet count, the
+  number of packets depends on whether the communication layer can rely on
+  in-order delivery: with in-order delivery only the first packet carries
+  the transfer's bookkeeping, so later packets carry more payload
+  ("the payload per packet is increased because later packets need not
+  include any bookkeeping information").
+
+``pair_seq`` stamps every packet with its per-(src, dst) send order so the
+metrics layer can verify in-order delivery claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List
+
+from ..packets import (
+    FLIT_BYTES,
+    REQUEST_NET,
+    Packet,
+    PacketKind,
+    SYNTHETIC_PACKET_WORDS,
+)
+
+_msg_ids = itertools.count()
+
+
+class PacketFactory:
+    """Builds the packet streams a node's driver hands to its processor."""
+
+    def __init__(
+        self,
+        node_id: int,
+        packet_words: int = SYNTHETIC_PACKET_WORDS,
+        bulk_threshold: int = 4,
+        exploit_inorder: bool = False,
+        header_words: int = 1,
+        bookkeeping_words: int = 1,
+        needs_ack: bool = True,
+    ):
+        if packet_words <= header_words:
+            raise ValueError("packets must have room for payload")
+        self.node_id = node_id
+        self.packet_words = packet_words
+        self.bulk_threshold = bulk_threshold
+        self.exploit_inorder = exploit_inorder
+        self.header_words = header_words
+        self.bookkeeping_words = bookkeeping_words
+        self.needs_ack = needs_ack
+        self._pair_seq: Dict[int, int] = {}
+
+    # ------------------------------------------------------------ payload
+    @property
+    def payload_words(self) -> int:
+        """Data words per packet when every packet carries bookkeeping."""
+        return self.packet_words - self.header_words - self.bookkeeping_words
+
+    @property
+    def payload_words_inorder(self) -> int:
+        """Data words per packet when in-order delivery removes per-packet
+        bookkeeping (first packet still pays it)."""
+        return self.packet_words - self.header_words
+
+    def packets_for_words(self, data_words: int) -> int:
+        """Packets needed to move ``data_words`` of payload."""
+        if data_words <= 0:
+            return 0
+        if not self.exploit_inorder:
+            return -(-data_words // self.payload_words)
+        # First packet carries the transfer bookkeeping, the rest are pure
+        # payload.
+        first = self.payload_words
+        if data_words <= first:
+            return 1
+        return 1 + -(-(data_words - first) // self.payload_words_inorder)
+
+    # ------------------------------------------------------------ builders
+    def message(self, dst: int, num_packets: int) -> List[Packet]:
+        """A message of ``num_packets`` fixed-size packets to ``dst``."""
+        if dst == self.node_id:
+            raise ValueError("node cannot send a message to itself")
+        if num_packets < 1:
+            raise ValueError("a message needs at least one packet")
+        msg_id = next(_msg_ids)
+        bulk = num_packets >= self.bulk_threshold
+        packets = []
+        for i in range(num_packets):
+            seq = self._pair_seq.get(dst, 0)
+            self._pair_seq[dst] = seq + 1
+            packets.append(
+                Packet(
+                    src=self.node_id,
+                    dst=dst,
+                    kind=PacketKind.SCALAR,
+                    size_bytes=self.packet_words * FLIT_BYTES,
+                    logical_net=REQUEST_NET,
+                    bulk_request=bulk,
+                    needs_ack=self.needs_ack,
+                    msg_id=msg_id,
+                    msg_seq=i,
+                    msg_len=num_packets,
+                    pair_seq=seq,
+                )
+            )
+        return packets
+
+    def message_for_words(self, dst: int, data_words: int) -> List[Packet]:
+        """A message carrying ``data_words`` of payload to ``dst``.
+
+        The packet count reflects the in-order payload benefit when
+        ``exploit_inorder`` is set.
+        """
+        return self.message(dst, self.packets_for_words(data_words))

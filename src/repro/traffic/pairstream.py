@@ -1,0 +1,73 @@
+"""Pair-stream microbenchmark: one sender, one receiver, maximum rate.
+
+This is the workload behind the paper's Section 2.4 analysis ("traffic
+between a single source/destination pair separated by d hops"): it measures
+pairwise bandwidth on an otherwise idle network, which is what Equations
+1-3 predict.  Used by the model-validation bench and handy as a
+micro-benchmark for any NIC/network combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..node import Action, Done, Send, TrafficDriver
+from ..packets import Packet, SYNTHETIC_PACKET_WORDS
+from ..sim import RngFactory
+from .messages import PacketFactory
+
+
+@dataclass
+class PairStreamConfig:
+    """A single maximal-rate stream from ``src`` to ``dst``."""
+
+    src: int = 0
+    dst: int = 1
+    packets: int = 60
+    bulk: bool = False            # request a bulk dialog for the stream
+    packet_words: int = SYNTHETIC_PACKET_WORDS
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("pair stream needs two distinct nodes")
+        if self.packets < 1:
+            raise ValueError("need at least one packet")
+
+
+class PairStreamDriver(TrafficDriver):
+    """Sender pushes the stream; every other node just stays responsive."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: PairStreamConfig,
+        rng_factory: Optional[RngFactory] = None,
+        exploit_inorder: bool = False,
+    ):
+        self.node_id = node_id
+        self.config = config
+        self._queue: List[Packet] = []
+        self.first_send_cycle: Optional[int] = None
+        self.last_receive_cycle: Optional[int] = None
+        self.received = 0
+        if node_id == config.src:
+            factory = PacketFactory(
+                node_id,
+                packet_words=config.packet_words,
+                bulk_threshold=1 if config.bulk else 10 ** 9,
+                exploit_inorder=exploit_inorder,
+            )
+            self._queue = factory.message(config.dst, config.packets)
+
+    def next_action(self) -> Action:
+        if self._queue:
+            if self.first_send_cycle is None:
+                self.first_send_cycle = self.proc.sim.now
+            return Send(self._queue.pop(0))
+        return Done()
+
+    def on_packet(self, packet: Packet) -> None:
+        self.received += 1
+        self.last_receive_cycle = self.proc.sim.now

@@ -1,0 +1,142 @@
+"""Radix sort communication phases (Section 4.5, after [Dus94]).
+
+Each radix-sort iteration has two communication phases:
+
+* **scan** -- a parallel prefix over the per-bucket counts: for every bucket
+  the partial sum flows processor 0 -> 1 -> ... -> P-1 (nearest-neighbour
+  pipeline, one single-packet message per bucket per hop).  "The most
+  notable feature ... is that the overall communication phase runs faster
+  if delays are inserted between successive sends.  Without delays, the
+  sends from one processor cause the next processor in the pipeline to
+  continually receive with no chance to send, serializing the entire scan."
+  ``inter_send_delay`` reproduces the paper's "with delay" variant.
+* **coalesce** -- every key is sent to its destination processor as a
+  single-packet message to an (effectively random) destination.  The paper
+  found NIFDY neither helps nor hurts here.
+
+The driver reports per-phase completion times for Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..node import Action, Compute, Done, Ignore, Send, TrafficDriver
+from ..packets import Packet, SPLITC_PACKET_WORDS
+from ..sim import RngFactory
+from .messages import PacketFactory
+
+
+@dataclass
+class RadixSortConfig:
+    """One scan (and optionally coalesce) pass."""
+
+    buckets: int = 256           # 8-bit radix (Figure 9)
+    inter_send_delay: int = 0    # cycles of delay between consecutive sends
+    combine_cycles: int = 8      # local work to fold a bucket's partial sum
+    run_coalesce: bool = False
+    keys_per_processor: int = 64
+    packet_words: int = SPLITC_PACKET_WORDS
+
+
+class RadixSortDriver(TrafficDriver):
+    """Per-node driver for the scan (and optional coalesce) phase."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: RadixSortConfig,
+        rng_factory: RngFactory,
+        exploit_inorder: bool = False,
+    ):
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.rng = rng_factory.stream(f"radix:{node_id}")
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=10 ** 9,  # single-packet messages; never bulk
+            exploit_inorder=exploit_inorder,
+        )
+        self.next_bucket_to_send = 0
+        self.buckets_received = 0
+        self._delay_owed = False
+        self._stashed: Optional[Packet] = None
+        self.scan_finished_cycle: Optional[int] = None
+        self.coalesce_finished_cycle: Optional[int] = None
+        self._coalesce_left = config.keys_per_processor
+        self._phase = "scan"
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def _is_first(self) -> bool:
+        return self.node_id == 0
+
+    @property
+    def _is_last(self) -> bool:
+        return self.node_id == self.num_nodes - 1
+
+    def _scan_done(self) -> bool:
+        if self._is_last:
+            return self.buckets_received >= self.config.buckets
+        return self.next_bucket_to_send >= self.config.buckets
+
+    # --------------------------------------------------------- driver API
+    def next_action(self) -> Action:
+        cfg = self.config
+        if self._stashed is not None:
+            packet = self._stashed
+            self._stashed = None
+            return Send(packet)
+        if self._phase == "scan":
+            if self._scan_done():
+                if self.scan_finished_cycle is None:
+                    self.scan_finished_cycle = self.proc.sim.now
+                self._phase = "coalesce" if cfg.run_coalesce else "done"
+                return self.next_action()
+            if self._is_last:
+                # Sink of the pipeline: just keep polling.
+                return Ignore(self.proc.timing.t_poll)
+            ready = (
+                self._is_first
+                or self.buckets_received > self.next_bucket_to_send
+            )
+            if not ready:
+                return Ignore(self.proc.timing.t_poll)
+            if self._delay_owed and cfg.inter_send_delay > 0:
+                self._delay_owed = False
+                return Compute(cfg.inter_send_delay)
+            bucket = self.next_bucket_to_send
+            self.next_bucket_to_send += 1
+            self._delay_owed = True
+            packet = self.factory.message(self.node_id + 1, 1)[0]
+            packet.payload = ("scan", bucket)
+            if not self._is_first:
+                # fold the received partial sum before passing it on
+                return self._send_after(Compute(cfg.combine_cycles), packet)
+            return Send(packet)
+        if self._phase == "coalesce":
+            if self._coalesce_left <= 0:
+                if self.coalesce_finished_cycle is None:
+                    self.coalesce_finished_cycle = self.proc.sim.now
+                self._phase = "done"
+                return Done()
+            self._coalesce_left -= 1
+            dst = self.rng.randrange(self.num_nodes - 1)
+            dst = dst if dst < self.node_id else dst + 1
+            packet = self.factory.message(dst, 1)[0]
+            packet.payload = ("key", self._coalesce_left)
+            return Send(packet)
+        return Done()
+
+    def _send_after(self, compute: Compute, packet: Packet) -> Action:
+        """Model combine-then-send as one action pair."""
+        self._stashed = packet
+        return compute
+
+    def on_packet(self, packet: Packet) -> None:
+        if isinstance(packet.payload, tuple) and packet.payload[0] == "scan":
+            self.buckets_received += 1

@@ -1,0 +1,155 @@
+"""Pseudo-random bursty synthetic traffic (Section 4.1).
+
+Two patterns, both organised as barrier-separated phases:
+
+* **heavy** -- every node sends each phase; message lengths are uniform on
+  1..5 packets; a sender picks a new random destination after each message
+  and pushes packets as fast as it can.  Rewards graceful handling of heavy
+  load.
+* **light** -- each node sends with probability 1/3 per phase; the message
+  length distribution includes 10- and 20-packet messages ("most messages
+  are short, but long messages account for more packets overall"); idle
+  nodes periodically enter pseudo-random 'non-responsive' periods during
+  which they neither send nor pull packets from the network.
+
+Per-node dedicated RNG streams guarantee the same burst sequence regardless
+of the network and NIC configuration under test (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..node import Action, Done, Ignore, PollFor, Send, TrafficDriver, WaitBarrier
+from ..packets import Packet, SYNTHETIC_PACKET_WORDS
+from ..sim import RngFactory
+from .messages import PacketFactory
+
+#: Light-traffic message-length distribution: mostly short, but the tail
+#: carries most packets (Section 4.1).
+LIGHT_LENGTHS: Tuple[int, ...] = (1, 2, 3, 5, 10, 20)
+LIGHT_WEIGHTS: Tuple[int, ...] = (30, 20, 12, 10, 16, 12)
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs for the synthetic phase traffic."""
+
+    heavy: bool = True
+    packets_per_phase: int = 100
+    max_phases: Optional[int] = None     # None: run until the horizon
+    send_probability: float = 1.0        # light traffic: 1/3
+    ignore_probability: float = 0.0      # light: chance per gap to go deaf
+    ignore_cycles: Tuple[int, int] = (200, 600)
+    bulk_threshold: int = 4
+    packet_words: int = SYNTHETIC_PACKET_WORDS
+    #: Force every message to this many packets (Figure 4 uses "only short
+    #: messages and no bulk dialogs": fixed_message_length=1).
+    fixed_message_length: Optional[int] = None
+    #: Pacing between sends, for offered-load sweeps (Section 1: networks
+    #: "deliver maximum performance when the offered load is limited to a
+    #: fraction of the maximum bandwidth" -- the operating range).
+    send_gap_cycles: int = 0
+
+    @classmethod
+    def heavy_traffic(cls, **overrides) -> "SyntheticConfig":
+        return cls(heavy=True, send_probability=1.0, **overrides)
+
+    @classmethod
+    def light_traffic(cls, **overrides) -> "SyntheticConfig":
+        return cls(
+            heavy=False,
+            send_probability=1.0 / 3.0,
+            ignore_probability=0.15,
+            **overrides,
+        )
+
+
+class SyntheticDriver(TrafficDriver):
+    """Per-node driver for the heavy/light synthetic patterns."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: SyntheticConfig,
+        rng_factory: RngFactory,
+        exploit_inorder: bool = False,
+    ):
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.rng = rng_factory.stream(f"synthetic:{node_id}")
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=config.bulk_threshold,
+            exploit_inorder=exploit_inorder,
+        )
+        self.phase = 0
+        self._queue: List[Packet] = []
+        self._sent_this_phase = 0
+        self._sending_phase = False
+        self._phase_prepared = False
+        self._idle_gaps = 0
+        self._gap_owed = False
+
+    # ------------------------------------------------------------- helpers
+    def _random_dst(self) -> int:
+        dst = self.rng.randrange(self.num_nodes - 1)
+        return dst if dst < self.node_id else dst + 1
+
+    def _message_length(self) -> int:
+        if self.config.fixed_message_length is not None:
+            return self.config.fixed_message_length
+        if self.config.heavy:
+            return self.rng.randint(1, 5)
+        return self.rng.choices(LIGHT_LENGTHS, weights=LIGHT_WEIGHTS, k=1)[0]
+
+    def _prepare_phase(self) -> None:
+        self._phase_prepared = True
+        self._sent_this_phase = 0
+        self._idle_gaps = 0
+        self._sending_phase = self.rng.random() < self.config.send_probability
+
+    # --------------------------------------------------------- driver API
+    def next_action(self) -> Action:
+        cfg = self.config
+        if cfg.max_phases is not None and self.phase >= cfg.max_phases:
+            return Done()
+        if not self._phase_prepared:
+            self._prepare_phase()
+        if self._sending_phase:
+            if self._sent_this_phase >= cfg.packets_per_phase:
+                return self._finish_phase()
+            if self._gap_owed and cfg.send_gap_cycles > 0:
+                self._gap_owed = False
+                return PollFor(cfg.send_gap_cycles)
+            if not self._queue:
+                dst = self._random_dst()
+                length = min(
+                    self._message_length(),
+                    cfg.packets_per_phase - self._sent_this_phase,
+                )
+                self._queue = self.factory.message(dst, length)
+            self._sent_this_phase += 1
+            self._gap_owed = True
+            return Send(self._queue.pop(0))
+        # Idle node: casual polling gaps with occasional deaf periods, then
+        # wait at the barrier (where it polls attentively).
+        if self._idle_gaps < 12:
+            self._idle_gaps += 1
+            if self.rng.random() < cfg.ignore_probability:
+                lo, hi = cfg.ignore_cycles
+                return Ignore(self.rng.randint(lo, hi))
+            return Ignore(30)
+        return self._finish_phase()
+
+    def _finish_phase(self) -> Action:
+        self.phase += 1
+        self._phase_prepared = False
+        return WaitBarrier()
+
+    def on_packet(self, packet: Packet) -> None:
+        pass

@@ -1,0 +1,93 @@
+"""Tests for the analytic model (Equations 1-4) and the parameter advisor."""
+
+import pytest
+
+from repro.analysis import (
+    NetworkModel,
+    PAPER_FATTREE_64,
+    PAPER_MESH_8X8,
+    characterize,
+    min_window_combined_acks,
+    min_window_per_packet_acks,
+    pairwise_bandwidth,
+    recommend_params,
+    roundtrip_time,
+    scalar_mode_sufficient,
+)
+
+
+class TestEquations:
+    def test_equation1_limited_by_slowest_stage(self):
+        assert pairwise_bandwidth(32, 40, 60, 30) == 32 / 60
+        assert pairwise_bandwidth(32, 80, 60, 30) == 32 / 80
+        assert pairwise_bandwidth(32, 10, 20, 64) == 32 / 64
+
+    def test_equation2_paper_mesh_numbers(self):
+        """Section 2.4.3: the 8x8 mesh's max/avg round trips are 144/80."""
+        assert roundtrip_time(PAPER_MESH_8X8.t_lat(14), 4) == 144
+        assert roundtrip_time(PAPER_MESH_8X8.t_lat(6), 4) == 80
+
+    def test_equation2_paper_fattree_numbers(self):
+        """Section 2.4.3: fat tree round trip = 32 + 32 + 4 = 68."""
+        assert roundtrip_time(PAPER_FATTREE_64.t_lat(6), 4) == 68
+
+    def test_equation3_paper_mesh_window(self):
+        """'To hide the maximum NIFDY roundtrip latency of 144 cycles, we
+        will need a bulk window size of W >= 2(144/60 - 1)' -> at least 2,
+        'possibly 3 or 4'."""
+        w = min_window_combined_acks(144.0, 60.0)
+        assert w in (3, 4)  # ceil(2.8)
+
+    def test_equation4_per_packet_acks_needs_larger_window(self):
+        rtt, limit = 300.0, 60.0
+        assert min_window_per_packet_acks(rtt, limit) >= \
+            min_window_combined_acks(rtt, limit) / 2
+
+    def test_scalar_sufficiency_thresholds(self):
+        assert scalar_mode_sufficient(60, 40, 60, 32)
+        assert not scalar_mode_sufficient(61, 40, 60, 32)
+
+
+class TestAdvisor:
+    def test_mesh_gets_restrictive_parameters(self):
+        rec = recommend_params(PAPER_MESH_8X8)
+        assert rec.params.opt_size == 4
+        assert rec.params.pool_size == 4
+        assert 2 <= rec.params.window <= 4
+        assert not rec.scalar_sufficient
+
+    def test_fattree_gets_generous_parameters(self):
+        rec = recommend_params(PAPER_FATTREE_64)
+        assert rec.params.opt_size == 8
+        assert rec.params.pool_size == 8
+
+    def test_window_is_power_of_two(self):
+        for model in (PAPER_MESH_8X8, PAPER_FATTREE_64):
+            w = recommend_params(model).params.window
+            assert w & (w - 1) == 0
+
+    def test_high_latency_network_gets_big_window(self):
+        slow = NetworkModel(
+            t_lat=lambda d: 40 * d + 10, max_hops=6, avg_hops=5,
+            volume_words_per_node=40, bisection_bytes_per_cycle=64,
+            num_nodes=64,
+        )
+        rec = recommend_params(slow)
+        assert rec.params.window >= 8
+
+
+class TestCharacterization:
+    def test_mesh_row_matches_paper_shape(self):
+        row = characterize("mesh2d", 16, hop_sample=100)
+        assert row.num_nodes == 16
+        assert row.delivers_in_order
+        assert row.latency_slope == pytest.approx(4.0, abs=0.6)
+        assert row.max_hops == 8  # 3+3 router hops + 2 NIC links (4x4)
+
+    def test_butterfly_constant_distance(self):
+        row = characterize("butterfly", 16, hop_sample=100, measure_latency=False)
+        assert row.avg_hops == row.max_hops
+
+    def test_formula_rendering(self):
+        row = characterize("mesh2d", 16, hop_sample=50, measure_latency=False)
+        assert "T_lat(d)" in row.formula()

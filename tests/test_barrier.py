@@ -1,0 +1,53 @@
+"""Tests for the global barrier coordinator."""
+
+import pytest
+
+from repro.sim import Barrier, Simulator
+
+
+def test_barrier_releases_all_after_cost():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=3, release_cost=10)
+    released = []
+    sim.schedule(1, barrier.arrive, 0, lambda: released.append((0, sim.now)))
+    sim.schedule(5, barrier.arrive, 1, lambda: released.append((1, sim.now)))
+    sim.schedule(9, barrier.arrive, 2, lambda: released.append((2, sim.now)))
+    sim.run()
+    assert sorted(released) == [(0, 19), (1, 19), (2, 19)]
+    assert barrier.crossings == 1
+
+
+def test_barrier_is_reusable():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2, release_cost=1)
+    crossings = []
+
+    def loop(node, rounds=3):
+        if rounds:
+            barrier.arrive(node, lambda: (crossings.append(node), loop(node, rounds - 1)))
+
+    sim.schedule(0, loop, 0)
+    sim.schedule(0, loop, 1)
+    sim.run()
+    assert barrier.crossings == 3
+    assert len(crossings) == 6
+
+
+def test_double_arrival_rejected():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=3)
+    barrier.arrive(0, lambda: None)
+    with pytest.raises(RuntimeError):
+        barrier.arrive(0, lambda: None)
+
+
+def test_zero_parties_rejected():
+    with pytest.raises(ValueError):
+        Barrier(Simulator(), parties=0)
+
+
+def test_waiting_count():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+    barrier.arrive(0, lambda: None)
+    assert barrier.waiting_count == 1

@@ -1,0 +1,131 @@
+"""Tests for butterfly and multibutterfly topologies."""
+
+import pytest
+
+from repro.networks import build_butterfly, build_network
+from repro.sim import Simulator
+
+from conftest import build_with_nics, drain_all, simple_packet
+
+
+class TestButterfly:
+    def test_switch_count(self):
+        sim = Simulator()
+        net = build_network("butterfly", sim, 64)
+        assert len(net.routers) == 3 * 16
+
+    def test_every_path_is_three_router_hops(self):
+        """Section 4.1: 'every packet travels only three hops'."""
+        sim = Simulator()
+        net = build_network("butterfly", sim, 64)
+        avg, max_hops = net.hop_stats(sample=200)
+        assert avg == max_hops == 4  # 3 switch-to-switch + NIC links
+
+    def test_all_pairs_delivery(self):
+        sim, net, nics = build_with_nics("butterfly", 16)
+        expected = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_delivers_in_order(self):
+        sim, net, nics = build_with_nics("butterfly", 64)
+        assert net.delivers_in_order
+        for i in range(30):
+            nics[7].try_send(simple_packet(7, 42, flits=2, pair_seq=i))
+        delivered = drain_all(sim, nics, 30)
+        assert [p.pair_seq for p in delivered] == list(range(30))
+
+    def test_self_delivery_through_all_stages(self):
+        """Even src == some node on its own switch traverses all stages."""
+        sim, net, nics = build_with_nics("butterfly", 16)
+        nics[0].try_send(simple_packet(0, 1, flits=2))
+        assert len(drain_all(sim, nics, 1)) == 1
+
+
+class TestMultibutterfly:
+    def test_dilated_early_stages(self):
+        sim = Simulator()
+        net = build_network("multibutterfly", sim, 64)
+        simb = Simulator()
+        plain = build_network("butterfly", simb, 64)
+        inter = lambda n: [l for l in n.links if id(l) not in n._nic_link_ids]
+        # Dilation doubles the first-stage links only (3 stages: stage0 dilated)
+        assert len(inter(net)) > len(inter(plain))
+
+    def test_not_in_order(self):
+        sim = Simulator()
+        net = build_network("multibutterfly", sim, 64)
+        assert not net.delivers_in_order
+
+    def test_all_pairs_delivery(self):
+        sim, net, nics = build_with_nics("multibutterfly", 64)
+        expected = 0
+        for src in range(0, 64, 3):
+            for dst in range(0, 64, 7):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_alternate_paths_actually_used(self):
+        """Under repeated traffic the two dilated copies of a direction both
+        carry packets."""
+        sim, net, nics = build_with_nics("multibutterfly", 64)
+        for _ in range(12):
+            nics[0].try_send(simple_packet(0, 63, flits=2))
+        drain_all(sim, nics, 12)
+        used = [
+            l for l in net.links
+            if l.name.startswith("bf:0.") and l.packets_carried > 0
+        ]
+        copies = {name.split(".")[-1] for name in (l.name for l in used)}
+        assert copies == {"0", "1"}
+
+
+class TestValidation:
+    def test_bad_dilation_rejected(self):
+        with pytest.raises(ValueError):
+            build_butterfly(Simulator(), dilation=0)
+
+
+class TestAdjustableDilationAndRadix:
+    """Section 3: "multibutterflies, with adjustable dilation and radix"."""
+
+    def test_dilation_four_delivery(self):
+        from repro.sim import Simulator
+        from repro.nic import PlainNIC
+
+        sim = Simulator()
+        net = build_butterfly(sim, stages=3, k=4, dilation=4)
+        nics = net.attach_nics(lambda n: PlainNIC(sim, n, out_capacity=32))
+        count = 0
+        for src in range(0, 64, 5):
+            for dst in range(0, 64, 9):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    count += 1
+        assert len(drain_all(sim, nics, count)) == count
+
+    def test_radix_two_butterfly(self):
+        from repro.sim import Simulator
+        from repro.nic import PlainNIC
+
+        sim = Simulator()
+        net = build_butterfly(sim, stages=4, k=2, dilation=1)  # 16 nodes
+        assert net.num_nodes == 16
+        nics = net.attach_nics(lambda n: PlainNIC(sim, n, out_capacity=32))
+        count = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    count += 1
+        assert len(drain_all(sim, nics, count)) == count
+
+    def test_dilation_exceeding_radix_rejected(self):
+        with pytest.raises(ValueError):
+            build_butterfly(Simulator(), k=4, dilation=5)

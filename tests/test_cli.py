@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fattree" in out
+        assert "nifdy" in out
+
+    def test_run_requires_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--network", "hypercube"])
+
+
+class TestRun:
+    def test_run_heavy_synthetic(self, capsys):
+        code = main([
+            "run", "--network", "mesh2d", "--traffic", "heavy",
+            "--nic", "nifdy", "--nodes", "16", "--cycles", "4000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packets delivered" in out
+        assert "order violations : 0" in out
+
+    def test_run_to_completion_workload(self, capsys):
+        code = main([
+            "run", "--network", "fattree", "--traffic", "radix",
+            "--nic", "plain", "--nodes", "16", "--max-cycles", "20000000",
+        ])
+        assert code == 0
+        assert "cycles simulated" in capsys.readouterr().out
+
+    def test_run_with_custom_params(self, capsys):
+        code = main([
+            "run", "--network", "mesh2d", "--nodes", "16", "--cycles", "3000",
+            "--opt", "2", "--window", "4",
+        ])
+        assert code == 0
+
+    def test_run_lossy(self, capsys):
+        code = main([
+            "run", "--network", "fattree", "--traffic", "heavy",
+            "--nodes", "16", "--cycles", "4000", "--drop", "0.05",
+        ])
+        assert code == 0
+
+
+class TestAnalysisCommands:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--network", "mesh2d", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "bisection" in out
+        assert "T_lat(d)" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--network", "mesh2d", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+        assert "O=" in out

@@ -1,0 +1,260 @@
+"""Tests for the Section 6 / future-work extensions: adaptive mesh routing,
+piggybacked acks, automatic bulk requests, hot-spot traffic, PollFor."""
+
+import pytest
+
+from repro.networks import build_mesh, build_network
+from repro.nic import NifdyNIC, NifdyParams, RetransmittingNifdyNIC
+from repro.sim import RngFactory, Simulator
+
+from conftest import build_with_nics, drain_all, simple_packet
+from test_nifdy_protocol import feed, stream
+
+
+class TestAdaptiveMesh:
+    def test_build_and_name(self):
+        sim = Simulator()
+        net = build_network("mesh2d-adaptive", sim, 16)
+        assert "adaptive" in net.name
+        assert not net.delivers_in_order
+
+    def test_torus_adaptive_rejected(self):
+        with pytest.raises(ValueError):
+            build_mesh(Simulator(), (4, 4), torus=True, adaptive=True)
+
+    def test_all_pairs_delivery(self):
+        sim, net, nics = build_with_nics("mesh2d-adaptive", 16)
+        expected = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_heavy_cross_traffic_no_deadlock(self):
+        """Saturating adaptive VCs must not deadlock: the dimension-order
+        escape VC guarantees progress."""
+        sim, net, nics = build_with_nics("mesh2d-adaptive", 16)
+        expected = 0
+        for src in range(16):
+            for _ in range(6):
+                dst = 15 - src
+                if dst == src:
+                    continue
+                nics[src].try_send(simple_packet(src, dst))
+                expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_multiple_paths_used(self):
+        """Adaptive routing spreads one pair's packets over both quadrant
+        paths: the two outgoing links of the source router both carry
+        traffic for a diagonal destination."""
+        sim, net, nics = build_with_nics("mesh2d-adaptive", 16)
+        for _ in range(16):
+            nics[0].try_send(simple_packet(0, 15, flits=2))
+        drain_all(sim, nics, 16)
+        src_router = net.routers[0]
+        used = [
+            port for port, link in src_router.out_links.items()
+            if port in (0, 2) and link.packets_carried > 0
+        ]
+        assert len(used) == 2  # +x and +y both used
+
+    def test_nifdy_restores_order_on_adaptive_mesh(self):
+        sim, net, nics = build_with_nics("mesh2d-adaptive", 16, nic="nifdy")
+        feed(sim, nics[0], stream(0, 15, 20))
+        delivered = drain_all(sim, nics, 20)
+        assert [p.pair_seq for p in delivered] == list(range(20))
+
+
+class TestPiggybackAcks:
+    def _bidirectional_run(self, piggyback):
+        params = NifdyParams(
+            opt_size=4, pool_size=8, dialogs=1, window=4,
+            piggyback_acks=piggyback, piggyback_window=200,
+        )
+        sim, net, nics = build_with_nics("mesh2d", 4, nic="nifdy", params=params)
+        # Node 0 sends scalars to 3; node 3 streams a bulk message back.
+        # The reverse bulk packets flow on window credits (not gated on the
+        # scalar acks), so node 3's pending acks can ride them.
+        feed(sim, nics[0], stream(0, 3, 12, {"bulk_threshold": 10 ** 9}))
+        feed(sim, nics[3], stream(3, 0, 12, {"bulk_threshold": 2}))
+        delivered = drain_all(sim, nics, 24)
+        return nics, delivered
+
+    def test_protocol_still_correct(self):
+        nics, delivered = self._bidirectional_run(piggyback=True)
+        assert len(delivered) == 24
+        by_src = {0: [], 3: []}
+        for p in delivered:
+            by_src[p.src].append(p.pair_seq)
+        assert by_src[0] == sorted(by_src[0])
+        assert by_src[3] == sorted(by_src[3])
+
+    def test_fewer_standalone_acks(self):
+        plain_nics, _ = self._bidirectional_run(piggyback=False)
+        piggy_nics, _ = self._bidirectional_run(piggyback=True)
+        standalone = lambda nics: sum(n.acks_sent for n in nics)
+        assert standalone(piggy_nics) < standalone(plain_nics)
+
+    def test_one_way_traffic_falls_back_to_standalone(self):
+        """With no reverse data to ride on, acks go out standalone after the
+        piggyback window; the transfer still completes."""
+        params = NifdyParams(
+            opt_size=4, pool_size=8, dialogs=0, window=0,
+            piggyback_acks=True, piggyback_window=60,
+        )
+        sim, net, nics = build_with_nics("mesh2d", 4, nic="nifdy", params=params)
+        feed(sim, nics[0], stream(0, 3, 8, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 8)
+        assert len(delivered) == 8
+        assert nics[3].acks_sent == 8  # all fell back
+
+    def test_piggyback_with_retransmission(self):
+        """The combination survives packet loss: a dropped carrier's ack is
+        recovered through the retransmit path."""
+        sim = Simulator()
+        rngf = RngFactory(9)
+        net = build_network(
+            "mesh2d", sim, 4, drop_prob=0.12, drop_rng=rngf.stream("drop")
+        )
+        params = NifdyParams(
+            opt_size=4, pool_size=8, dialogs=0, window=0,
+            piggyback_acks=True, piggyback_window=120,
+        )
+        nics = net.attach_nics(
+            lambda n: RetransmittingNifdyNIC(sim, n, params, retx_timeout=700)
+        )
+        feed(sim, nics[0], stream(0, 3, 10, {"bulk_threshold": 10 ** 9}))
+        feed(sim, nics[3], stream(3, 0, 10, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 20, horizon=2_000_000)
+        assert len(delivered) == 20
+
+
+class TestAutoBulk:
+    def test_auto_request_without_software_bit(self):
+        params = NifdyParams(
+            opt_size=4, pool_size=8, dialogs=1, window=4, auto_bulk_threshold=3
+        )
+        sim, net, nics = build_with_nics("fattree", 16, nic="nifdy", params=params)
+        # software never sets the request bit (threshold huge)
+        feed(sim, nics[0], stream(0, 9, 16, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 16)
+        assert len(delivered) == 16
+        assert nics[0].bulk_sent > 0
+        assert nics[9].bulk_grants == 1
+        assert [p.pair_seq for p in delivered] == list(range(16))
+
+    def test_no_auto_request_for_sparse_traffic(self):
+        params = NifdyParams(
+            opt_size=4, pool_size=8, dialogs=1, window=4, auto_bulk_threshold=4
+        )
+        sim, net, nics = build_with_nics("fattree", 16, nic="nifdy", params=params)
+        for dst in (1, 5, 9, 13):  # one packet per destination
+            feed(sim, nics[0], stream(0, dst, 1, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 4)
+        assert len(delivered) == 4
+        assert nics[0].bulk_sent == 0
+
+
+class TestHotSpotTraffic:
+    def test_hot_node_receives_the_bias(self):
+        from repro.experiments import hotspot, run_experiment
+        from repro.traffic import HotSpotConfig
+
+        result = run_experiment(
+            "fattree",
+            hotspot(HotSpotConfig(hot_node=0, hot_fraction=0.5,
+                                  packets_per_node=30)),
+            num_nodes=16, nic_mode="nifdy", seed=3, max_cycles=5_000_000,
+        )
+        assert result.completed
+        hot = result.drivers[0].hot_received
+        background = max(d.background_received for d in result.drivers)
+        assert hot > 3 * background
+
+    def test_hot_fraction_validated(self):
+        from repro.traffic import HotSpotConfig
+
+        with pytest.raises(ValueError):
+            HotSpotConfig(hot_fraction=1.5)
+
+    def test_send_gap_paces_offered_load(self):
+        from repro.experiments import hotspot, run_experiment
+        from repro.traffic import HotSpotConfig
+
+        fast = run_experiment(
+            "fattree",
+            hotspot(HotSpotConfig(hot_fraction=0.0, packets_per_node=20,
+                                  send_gap_cycles=0)),
+            num_nodes=16, nic_mode="plain", seed=3, max_cycles=5_000_000,
+        )
+        slow = run_experiment(
+            "fattree",
+            hotspot(HotSpotConfig(hot_fraction=0.0, packets_per_node=20,
+                                  send_gap_cycles=500)),
+            num_nodes=16, nic_mode="plain", seed=3, max_cycles=5_000_000,
+        )
+        assert slow.cycles > 1.5 * fast.cycles
+
+
+class TestPollFor:
+    def test_pollfor_receives_during_pacing(self):
+        from repro.node import PollFor, Send
+        from test_processor import ScriptedDriver, two_node_setup
+
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(
+            actions0=[Send(pkt)],
+            actions1=[PollFor(30_000)],
+        )
+        sim.run_until(25_000)
+        # unlike Ignore, PollFor picks the packet up immediately
+        assert drivers[1].received == [pkt]
+
+
+class TestLinkFaults:
+    def test_fattree_routes_around_failed_up_links(self):
+        """With 2 of a leaf router's 4 up links dead, adaptive up-routing
+        still delivers everything over the survivors."""
+        sim, net, nics = build_with_nics("fattree", 64)
+        leaf = net.routers[0]  # serves nodes 0..3
+        up_links = [leaf.out_links[p] for p in (4, 5)]
+        for link in up_links:
+            link.fail()
+        for i in range(12):
+            nics[0].try_send(simple_packet(0, 63, flits=2, pair_seq=i))
+        delivered = drain_all(sim, nics, 12)
+        assert len(delivered) == 12
+        assert all(link.packets_carried == 0 for link in up_links)
+        survivors = [leaf.out_links[p] for p in (6, 7)]
+        assert sum(link.packets_carried for link in survivors) == 12
+
+    def test_nifdy_in_order_across_faults(self):
+        params = NifdyParams(opt_size=4, pool_size=8, dialogs=1, window=4)
+        sim, net, nics = build_with_nics("fattree", 64, nic="nifdy", params=params)
+        net.routers[0].out_links[4].fail()
+        from test_nifdy_protocol import feed, stream
+
+        feed(sim, nics[0], stream(0, 63, 20))
+        delivered = drain_all(sim, nics, 20)
+        assert [p.pair_seq for p in delivered] == list(range(20))
+
+    def test_multibutterfly_survives_early_stage_fault(self):
+        sim, net, nics = build_with_nics("multibutterfly", 64)
+        # fail one copy of one first-stage direction that 0->63 would use
+        first_stage = net.routers[0]
+        first_stage.out_links[2 * 3].fail()  # digit 3, copy 0 (dst 63 = 333)
+        for i in range(8):
+            nics[0].try_send(simple_packet(0, 63, flits=2))
+        delivered = drain_all(sim, nics, 8)
+        assert len(delivered) == 8
+
+    def test_failed_link_rejects_allocation(self):
+        from repro.links import Link
+        from repro.sim import Simulator
+
+        link = Link(Simulator(), "L", 1, 1, 4, sink=None, sink_port=0)
+        link.fail()
+        assert link.allocate_vc(simple_packet(0, 1), None, [0]) is None

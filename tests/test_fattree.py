@@ -1,0 +1,136 @@
+"""Tests for fat-tree topologies (full 4-ary and the CM-5 imitation)."""
+
+import pytest
+
+from repro.networks import build_fattree, build_network
+from repro.routers import STORE_AND_FORWARD
+from repro.sim import RngFactory, Simulator
+
+from conftest import build_with_nics, drain_all, simple_packet
+
+
+class TestFullFatTree:
+    def test_router_count_64_nodes(self):
+        sim = Simulator()
+        net = build_network("fattree", sim, 64)
+        # 3 levels x 16 routers
+        assert len(net.routers) == 48
+
+    def test_all_pairs_delivery_16(self):
+        sim, net, nics = build_with_nics("fattree", 16)
+        expected = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_same_leaf_router_stays_local(self):
+        """Nodes 0 and 1 share a leaf router: 2 hops, no climb."""
+        sim = Simulator()
+        net = build_network("fattree", sim, 64)
+        assert net.min_hops(0, 1) == 2
+        # node-R0-R1-R2-R1'-R0'-node: the paper's "maximum internode
+        # distance is 6 hops" for the 64-node fat tree.
+        assert net.min_hops(0, 63) == 6
+
+    def test_max_hops_64_nodes(self):
+        sim = Simulator()
+        net = build_network("fattree", sim, 64)
+        _avg, max_hops = net.hop_stats(sample=300)
+        assert max_hops == 6  # matches Section 2.4.3
+
+    def test_adaptive_up_routing_reorders_packets(self):
+        """Many packets between one pair on an otherwise busy network should
+        be able to arrive out of order (the network is marked accordingly)."""
+        sim = Simulator()
+        net = build_network("fattree", sim, 64)
+        assert not net.delivers_in_order
+
+    def test_heavy_cross_traffic_delivery(self):
+        sim, net, nics = build_with_nics("fattree", 64)
+        expected = 0
+        for src in range(64):
+            dst = 63 - src
+            if dst == src:
+                continue
+            for _ in range(4):
+                nics[src].try_send(simple_packet(src, dst, flits=4))
+                expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_bisection_exceeds_mesh(self):
+        simf = Simulator()
+        ft = build_network("fattree", simf, 64)
+        simm = Simulator()
+        mesh = build_network("mesh2d", simm, 64)
+        assert ft.bisection_bandwidth() > mesh.bisection_bandwidth()
+
+
+class TestStoreAndForwardFatTree:
+    def test_sf_routers_have_packet_buffers(self):
+        sim = Simulator()
+        net = build_network("fattree-sf", sim, 16)
+        inter = [l for l in net.links if id(l) not in net._nic_link_ids]
+        assert all(l._vc_capacity >= 10 for l in inter)
+        assert all(r.mode == STORE_AND_FORWARD for r in net.routers)
+
+    def test_sf_slower_than_cutthrough(self):
+        from repro.analysis import measure_latency_fit
+
+        ct = measure_latency_fit("fattree", 16, max_probes=8)
+        sf = measure_latency_fit("fattree-sf", 16, max_probes=8)
+        # store-and-forward pays a full packet per hop
+        assert sf[0] > ct[0] + 20
+
+    def test_delivery(self):
+        sim, net, nics = build_with_nics("fattree-sf", 16)
+        count = 0
+        for src in range(16):
+            nics[src].try_send(simple_packet(src, (src + 5) % 16))
+            count += 1
+        assert len(drain_all(sim, nics, count)) == count
+
+
+class TestCm5FatTree:
+    def test_pruned_upper_levels(self):
+        sim = Simulator()
+        net = build_network("cm5", sim, 64)
+        # level0: 16, level1: 8, level2: 4
+        assert len(net.routers) == 28
+
+    def test_split_links_per_logical_network(self):
+        sim = Simulator()
+        net = build_network("cm5", sim, 64)
+        # every channel is two half-bandwidth sub-links
+        assert all(link.cycles_per_flit == 16 for link in net.links)
+
+    def test_all_pairs_delivery(self):
+        sim, net, nics = build_with_nics("cm5", 16)
+        expected = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected, horizon=2_000_000)) == expected
+
+    def test_bisection_below_full_fat_tree(self):
+        sim1 = Simulator()
+        cm5 = build_network("cm5", sim1, 64)
+        sim2 = Simulator()
+        full = build_network("fattree", sim2, 64)
+        assert cm5.bisection_bandwidth() < full.bisection_bandwidth()
+
+    def test_nifdy_nic_works_on_split_links(self):
+        sim, net, nics = build_with_nics("cm5", 16, nic="nifdy")
+        for src in range(16):
+            nics[src].try_send(simple_packet(src, (src + 3) % 16, pair_seq=0))
+        assert len(drain_all(sim, nics, 16, horizon=2_000_000)) == 16
+
+
+class TestFatTreeValidation:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_fattree(Simulator(), variant="bogus")

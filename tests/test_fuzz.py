@@ -1,0 +1,113 @@
+"""Whole-protocol fuzzing: random traffic matrices through random NIFDY
+configurations must always deliver exactly once and in order."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.networks import build_network
+from repro.nic import NifdyNIC, NifdyParams, RetransmittingNifdyNIC
+from repro.sim import RngFactory, Simulator
+from repro.traffic import PacketFactory
+
+from conftest import drain_all
+from test_nifdy_protocol import feed
+
+
+def run_matrix(network, params, matrix, num_nodes=16, lossy=0.0, seed=3,
+               horizon=2_500_000):
+    """Drive a (src, dst, length, threshold) traffic matrix; return the
+    delivered packets."""
+    sim = Simulator()
+    rngf = RngFactory(seed)
+    net = build_network(
+        network, sim, num_nodes, rng=rngf.stream("route"),
+        drop_prob=lossy, drop_rng=rngf.stream("drop"),
+    )
+    if lossy:
+        nics = net.attach_nics(
+            lambda n: RetransmittingNifdyNIC(sim, n, params, retx_timeout=900)
+        )
+    else:
+        nics = net.attach_nics(lambda n: NifdyNIC(sim, n, params))
+    factories = {}
+    expected = 0
+    for src, dst, length, threshold in matrix:
+        # one factory per source so pair_seq is globally consistent; the
+        # bulk threshold is a per-message software decision
+        factory = factories.get(src)
+        if factory is None:
+            factory = PacketFactory(src, bulk_threshold=threshold)
+            factories[src] = factory
+        factory.bulk_threshold = threshold
+        feed(sim, nics[src], factory.message(dst, length))
+        expected += length
+    delivered = drain_all(sim, nics, expected, horizon=horizon)
+    return delivered, expected
+
+
+def check_exactly_once_in_order(delivered, expected):
+    assert len(delivered) == expected
+    uids = [p.uid for p in delivered]
+    assert len(set(uids)) == expected  # exactly once
+    by_pair = {}
+    for p in delivered:
+        by_pair.setdefault((p.src, p.dst), []).append(p.pair_seq)
+    for pair, seqs in by_pair.items():
+        assert seqs == sorted(seqs), pair  # in order per pair
+
+
+matrix_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 15),            # src
+        st.integers(0, 15),            # dst
+        st.integers(1, 10),            # message length
+        st.sampled_from([2, 4, 1000]), # bulk threshold
+    ).filter(lambda t: t[0] != t[1]),
+    min_size=1,
+    max_size=10,
+)
+
+params_strategy = st.builds(
+    NifdyParams,
+    opt_size=st.sampled_from([1, 2, 8]),
+    pool_size=st.sampled_from([2, 8]),
+    dialogs=st.sampled_from([0, 1, 2]),
+    window=st.sampled_from([0, 2, 8]),
+).filter(lambda p: (p.dialogs == 0) == (p.window == 0))
+
+
+class TestProtocolFuzz:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(matrix=matrix_strategy, params=params_strategy,
+           network=st.sampled_from(["fattree", "multibutterfly"]))
+    def test_reliable_network_exactly_once_in_order(self, matrix, params, network):
+        delivered, expected = run_matrix(network, params, matrix)
+        check_exactly_once_in_order(delivered, expected)
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(matrix=matrix_strategy,
+           drop=st.sampled_from([0.05, 0.15]))
+    def test_lossy_network_exactly_once_in_order(self, matrix, drop):
+        params = NifdyParams(opt_size=4, pool_size=8, dialogs=1, window=4)
+        delivered, expected = run_matrix(
+            "fattree", params, matrix, lossy=drop, horizon=4_000_000,
+        )
+        check_exactly_once_in_order(delivered, expected)
+
+
+class TestParameterGridSmoke:
+    """Every corner of the parameter space moves traffic correctly."""
+
+    @pytest.mark.parametrize("opt", [1, 8])
+    @pytest.mark.parametrize("window", [0, 2, 8])
+    @pytest.mark.parametrize("network", ["mesh2d", "cm5"])
+    def test_grid(self, opt, window, network):
+        params = NifdyParams(
+            opt_size=opt, pool_size=4,
+            dialogs=1 if window else 0, window=window,
+        )
+        matrix = [(0, 9, 6, 4), (5, 2, 3, 1000), (9, 0, 5, 2)]
+        delivered, expected = run_matrix(network, params, matrix, num_nodes=16)
+        check_exactly_once_in_order(delivered, expected)

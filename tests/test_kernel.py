@@ -1,0 +1,139 @@
+"""Tests for the event kernel: ordering, cancellation, time semantics."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_schedule_and_run_in_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(5, log.append, "b")
+    sim.schedule(3, log.append, "a")
+    sim.schedule(9, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_same_cycle_events_fire_in_scheduling_order():
+    sim = Simulator()
+    log = []
+    for tag in range(10):
+        sim.schedule(4, log.append, tag)
+    sim.run()
+    assert log == list(range(10))
+
+
+def test_now_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7]
+
+
+def test_run_until_is_exclusive_of_bound():
+    sim = Simulator()
+    log = []
+    sim.schedule(10, log.append, "at10")
+    sim.run_until(10)
+    assert log == []
+    assert sim.now == 10
+    sim.run_until(11)
+    assert log == ["at10"]
+
+
+def test_run_until_advances_now_even_without_events():
+    sim = Simulator()
+    sim.run_until(1234)
+    assert sim.now == 1234
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    log = []
+
+    def outer():
+        log.append(("outer", sim.now))
+        sim.schedule(2, inner)
+
+    def inner():
+        log.append(("inner", sim.now))
+
+    sim.schedule(1, outer)
+    sim.run()
+    assert log == [("outer", 1), ("inner", 3)]
+
+
+def test_schedule_zero_delay_fires_same_cycle_after_current():
+    sim = Simulator()
+    log = []
+
+    def first():
+        sim.schedule(0, log.append, "second")
+        log.append("first")
+
+    sim.schedule(1, first)
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(5, log.append, "x")
+    event.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(2, lambda: None)
+
+
+def test_run_max_cycles():
+    sim = Simulator()
+    log = []
+    sim.schedule(5, log.append, "early")
+    sim.schedule(50, log.append, "late")
+    sim.run(max_cycles=10)
+    assert log == ["early"]
+    assert sim.now == 10
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    keep = sim.schedule(5, lambda: None)
+    drop = sim.schedule(6, lambda: None)
+    drop.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_deterministic_interleaving_across_runs():
+    def run_once():
+        sim = Simulator()
+        log = []
+        for i in range(20):
+            sim.schedule(i % 3, log.append, i)
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

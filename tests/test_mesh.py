@@ -1,0 +1,140 @@
+"""Tests for mesh and torus topologies: routing, ordering, datelines."""
+
+import pytest
+
+from repro.networks import build_mesh, build_network
+from repro.sim import Simulator
+
+from conftest import build_with_nics, drain_all, simple_packet
+
+
+class TestMeshRouting:
+    def test_all_pairs_delivery_4x4(self):
+        sim, net, nics = build_with_nics("mesh2d", 16)
+        expected = 0
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                assert nics[src].try_send(simple_packet(src, dst, flits=2))
+                expected += 1
+        delivered = drain_all(sim, nics, expected)
+        assert len(delivered) == expected
+
+    def test_packets_arrive_at_correct_node(self):
+        sim, net, nics = build_with_nics("mesh2d", 16)
+        sent = {}
+        for src in (0, 5, 15):
+            for dst in (3, 10):
+                if src == dst:
+                    continue
+                pkt = simple_packet(src, dst)
+                sent[pkt.uid] = dst
+                nics[src].try_send(pkt)
+        delivered = drain_all(sim, nics, len(sent))
+        for pkt in delivered:
+            assert pkt.dst == sent[pkt.uid]
+            assert pkt.delivered_cycle >= 0
+
+    def test_single_vc_mesh_delivers_in_order(self):
+        sim, net, nics = build_with_nics("mesh2d", 16)
+        assert net.delivers_in_order
+        for i in range(20):
+            nics[0].try_send(simple_packet(0, 15, flits=2, pair_seq=i))
+        delivered = drain_all(sim, nics, 20)
+        assert [p.pair_seq for p in delivered] == list(range(20))
+
+    def test_multi_vc_mesh_not_marked_in_order(self):
+        sim = Simulator()
+        net = build_mesh(sim, (4, 4), vcs_per_net=2)
+        assert not net.delivers_in_order
+
+    def test_mesh_latency_slope_matches_paper_form(self):
+        """The paper's 8x8 mesh has T_lat(d) = 4d + const (byte links,
+        word flits): each hop adds one flit time."""
+        from repro.analysis import measure_latency_fit
+
+        slope, intercept = measure_latency_fit("mesh2d", 16, max_probes=10)
+        assert slope == pytest.approx(4.0, abs=0.5)
+
+    def test_3d_mesh_delivery(self):
+        sim, net, nics = build_with_nics("mesh3d", 27)
+        count = 0
+        for src in range(0, 27, 5):
+            for dst in range(0, 27, 7):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    count += 1
+        assert len(drain_all(sim, nics, count)) == count
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            build_mesh(Simulator(), (1, 8))
+
+
+class TestTorus:
+    def test_all_pairs_delivery(self):
+        sim, net, nics = build_with_nics("torus2d", 16)
+        expected = 0
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    nics[src].try_send(simple_packet(src, dst, flits=2))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_torus_takes_short_way_round(self):
+        """0 -> 7 on an 8-wide ring should wrap (1 hop), not cross 7 links."""
+        sim = Simulator()
+        net = build_network("torus2d", sim, 64)
+        assert net.min_hops(0, 7) < net.min_hops(0, 4)
+
+    def test_wraparound_heavy_traffic_no_deadlock(self):
+        """Saturate rings in both directions; the dateline VCs must prevent
+        deadlock (every packet eventually arrives)."""
+        sim, net, nics = build_with_nics("torus2d", 16)
+        expected = 0
+        for src in range(16):
+            for step in (1, 2, 3, 5, 7):
+                dst = (src + step * 4 + step) % 16
+                if dst != src:
+                    nics[src].try_send(simple_packet(src, dst))
+                    expected += 1
+        assert len(drain_all(sim, nics, expected)) == expected
+
+    def test_torus_has_two_vc_classes(self):
+        sim = Simulator()
+        net = build_network("torus2d", sim, 16)
+        inter_router = [
+            link for link in net.links if id(link) not in net._nic_link_ids
+        ]
+        assert all(link.vc_count == 4 for link in inter_router)  # 2 per net
+
+
+class TestMeshStructure:
+    def test_link_counts_8x8(self):
+        sim = Simulator()
+        net = build_network("mesh2d", sim, 64)
+        inter = [l for l in net.links if id(l) not in net._nic_link_ids]
+        # 2 * (7*8) per dimension, both directions = 224
+        assert len(inter) == 224
+
+    def test_torus_link_count(self):
+        sim = Simulator()
+        net = build_network("torus2d", sim, 64)
+        inter = [l for l in net.links if id(l) not in net._nic_link_ids]
+        assert len(inter) == 256  # 8*8 nodes * 4 directed ring links / ...
+
+    def test_bisection_bandwidth_mesh(self):
+        sim = Simulator()
+        net = build_network("mesh2d", sim, 64)
+        net.attach_nics(lambda n: __import__("repro.nic", fromlist=["PlainNIC"]).PlainNIC(sim, n))
+        # 8 byte-wide links each way across the middle cut
+        assert net.bisection_bandwidth() == pytest.approx(8.0)
+
+    def test_volume_excludes_nic_links(self):
+        sim = Simulator()
+        net = build_network("mesh2d", sim, 64)
+        assert net.volume_flits() < net.volume_flits(include_nic_links=True)
+        # 224 links x 2 VCs x 2 flits = 896 flits = 14 words/node
+        assert net.volume_flits() == 896

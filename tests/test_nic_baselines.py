@@ -1,0 +1,125 @@
+"""Tests for the baseline NICs (plain and buffers-only)."""
+
+import pytest
+
+from repro.nic import BufferedNIC, PlainNIC
+from repro.sim import Simulator
+
+from conftest import build_with_nics, drain_all, simple_packet
+
+
+class TestPlainNIC:
+    def test_out_capacity_backpressures_processor(self):
+        sim, net, nics = build_with_nics("mesh2d", 4)
+        # rebuild with the default 1-slot staging NIC
+        from repro.networks import build_network
+        from repro.sim import Simulator as S
+
+        sim = S()
+        net = build_network("mesh2d", sim, 4)
+        nics = net.attach_nics(lambda n: PlainNIC(sim, n, out_capacity=1))
+        nic = nics[0]
+        accepted = 0
+        for i in range(6):
+            accepted += nic.try_send(simple_packet(0, 3))
+        # 1 queued + up to a couple drained into injection streams
+        assert accepted < 6
+        assert not nic.can_send() or nic.pending_out == 0
+
+    def test_arrivals_fifo_backpressure(self):
+        """With a 1-packet arrivals FIFO and nobody receiving, later packets
+        stall in the network (credits withheld)."""
+        sim = Simulator()
+        from repro.networks import build_network
+
+        net = build_network("mesh2d", sim, 4)
+        nics = net.attach_nics(
+            lambda n: PlainNIC(sim, n, out_capacity=16, arrivals_capacity=1)
+        )
+        for i in range(4):
+            nics[0].try_send(simple_packet(0, 3))
+        sim.run_until(50_000)
+        assert nics[3].packets_ejected < 4  # some never reached the NIC
+        # now drain: everything arrives
+        got = drain_all(sim, nics, 4)
+        assert len(got) == 4
+
+    def test_receive_returns_none_when_empty(self):
+        sim = Simulator()
+        from repro.networks import build_network
+
+        net = build_network("mesh2d", sim, 4)
+        nics = net.attach_nics(lambda n: PlainNIC(sim, n))
+        assert nics[0].receive() is None
+        assert not nics[0].has_arrival()
+
+    def test_does_not_guarantee_order(self):
+        sim = Simulator()
+        assert PlainNIC(sim, 0).guarantees_order is False
+
+    def test_bad_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            PlainNIC(Simulator(), 0, out_capacity=0)
+        with pytest.raises(ValueError):
+            PlainNIC(Simulator(), 0, arrivals_capacity=0)
+
+
+class TestBufferedNIC:
+    def test_budget_split_half_to_arrivals(self):
+        nic = BufferedNIC(Simulator(), 0, total_buffers=16)
+        assert nic.arrivals_capacity == 8
+        assert nic.out_capacity == 8
+
+    def test_odd_budget(self):
+        nic = BufferedNIC(Simulator(), 0, total_buffers=9)
+        assert nic.arrivals_capacity + nic.out_capacity == 9
+        assert nic.arrivals_capacity >= nic.out_capacity
+
+    def test_accepts_bursts_plain_rejects(self):
+        sim = Simulator()
+        from repro.networks import build_network
+
+        net = build_network("mesh2d", sim, 4)
+        nics = net.attach_nics(lambda n: BufferedNIC(sim, n, total_buffers=16))
+        accepted = sum(nics[0].try_send(simple_packet(0, 3)) for _ in range(8))
+        assert accepted == 8
+
+    def test_minimum_budget_enforced(self):
+        with pytest.raises(ValueError):
+            BufferedNIC(Simulator(), 0, total_buffers=1)
+
+    def test_head_of_line_blocking(self):
+        """The buffers-only outgoing queue is FIFO: packets to a free node
+        wait behind packets to a congested one (NIFDY's pool would not)."""
+        sim = Simulator()
+        from repro.networks import build_network
+
+        net = build_network("mesh2d", sim, 16)
+        nics = net.attach_nics(
+            lambda n: BufferedNIC(sim, n, total_buffers=8)
+            if n == 0
+            else PlainNIC(sim, n, arrivals_capacity=1)
+        )
+        # Saturate destination 15 (nobody drains it), then queue a packet
+        # for destination 1 behind the jam.
+        for _ in range(3):
+            nics[0].try_send(simple_packet(0, 15))
+        nics[0].try_send(simple_packet(0, 1))
+        # Drain only node 1's NIC.
+        got = []
+
+        def poll():
+            pkt = nics[1].receive()
+            if pkt is not None:
+                got.append(pkt)
+                nics[1].accepted(pkt)
+            else:
+                sim.schedule(25, poll)
+
+        sim.schedule(25, poll)
+        sim.run_until(60_000)
+        # The packet to node 1 is stuck behind the un-drained stream to 15
+        # only while 15's backlog fills the path; with out_capacity 4 the
+        # stream to 15 keeps the FIFO busy ahead of it.  It does arrive
+        # eventually once the network absorbs what it can.
+        assert len(got) <= 1

@@ -1,0 +1,100 @@
+"""Unit tests for the OPT and the outgoing pool (rank/eligibility)."""
+
+import pytest
+
+from repro.nic import OutgoingPool, OutstandingPacketTable
+
+from conftest import simple_packet
+
+
+class TestOpt:
+    def test_add_remove_membership(self):
+        opt = OutstandingPacketTable(4)
+        opt.add(7)
+        assert 7 in opt
+        assert len(opt) == 1
+        opt.remove(7)
+        assert 7 not in opt
+
+    def test_capacity_enforced(self):
+        opt = OutstandingPacketTable(2)
+        opt.add(1)
+        opt.add(2)
+        assert opt.full
+        with pytest.raises(RuntimeError):
+            opt.add(3)
+
+    def test_one_outstanding_per_destination(self):
+        opt = OutstandingPacketTable(4)
+        opt.add(5)
+        with pytest.raises(RuntimeError):
+            opt.add(5)
+
+    def test_spurious_ack_detected(self):
+        opt = OutstandingPacketTable(4)
+        with pytest.raises(RuntimeError):
+            opt.remove(9)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            OutstandingPacketTable(0)
+
+    def test_iteration(self):
+        opt = OutstandingPacketTable(4)
+        opt.add(1)
+        opt.add(2)
+        assert sorted(opt) == [1, 2]
+
+
+class TestPool:
+    def test_insert_until_full(self):
+        pool = OutgoingPool(3)
+        assert all(pool.insert(simple_packet(0, d)) for d in (1, 2, 3))
+        assert pool.full
+        assert not pool.insert(simple_packet(0, 4))
+        assert len(pool) == 3
+
+    def test_front_is_fifo_per_destination(self):
+        pool = OutgoingPool(8)
+        a = simple_packet(0, 1, pair_seq=0)
+        b = simple_packet(0, 1, pair_seq=1)
+        other = simple_packet(0, 2)
+        pool.insert(a)
+        pool.insert(other)
+        pool.insert(b)
+        assert pool.front(1) is a
+        assert pool.pop_front(1) is a
+        assert pool.front(1) is b  # rank decremented: b now eligible
+
+    def test_destinations_in_first_arrival_order(self):
+        pool = OutgoingPool(8)
+        for dst in (3, 1, 3, 2):
+            pool.insert(simple_packet(0, dst))
+        assert pool.destinations() == [3, 1, 2]
+
+    def test_count_and_free_slots(self):
+        pool = OutgoingPool(4)
+        pool.insert(simple_packet(0, 1))
+        pool.insert(simple_packet(0, 1))
+        assert pool.count_for(1) == 2
+        assert pool.count_for(9) == 0
+        assert pool.free_slots == 2
+
+    def test_pop_empty_destination_rejected(self):
+        pool = OutgoingPool(2)
+        with pytest.raises(RuntimeError):
+            pool.pop_front(1)
+
+    def test_iteration_covers_all(self):
+        pool = OutgoingPool(8)
+        packets = [simple_packet(0, d) for d in (1, 2, 1)]
+        for p in packets:
+            pool.insert(p)
+        assert set(pool) == set(packets)
+
+    def test_destination_removed_when_drained(self):
+        pool = OutgoingPool(4)
+        pool.insert(simple_packet(0, 5))
+        pool.pop_front(5)
+        assert pool.destinations() == []
+        assert len(pool) == 0

@@ -1,0 +1,166 @@
+"""Tests for the processor model: overheads, retry, barrier polling."""
+
+import pytest
+
+from repro.networks import build_network
+from repro.nic import NifdyNIC, PlainNIC
+from repro.node import (
+    CM5_TIMING,
+    Compute,
+    Done,
+    Ignore,
+    Processor,
+    Send,
+    Timing,
+    TrafficDriver,
+    WaitBarrier,
+)
+from repro.sim import Barrier, RngFactory, Simulator
+
+from conftest import simple_packet
+
+
+class ScriptedDriver(TrafficDriver):
+    """Replays a fixed list of actions, then Done forever."""
+
+    def __init__(self, actions):
+        self.actions = list(actions)
+        self.received = []
+
+    def next_action(self):
+        if self.actions:
+            return self.actions.pop(0)
+        return Done()
+
+    def on_packet(self, packet):
+        self.received.append(packet)
+
+
+def two_node_setup(nic_cls=PlainNIC, timing=CM5_TIMING, actions0=(), actions1=()):
+    sim = Simulator()
+    net = build_network("mesh2d", sim, 4, rng=RngFactory(0).stream("r"))
+    nics = net.attach_nics(lambda n: nic_cls(sim, n))
+    barrier = Barrier(sim, 2, release_cost=timing.barrier_cost)
+    d0, d1 = ScriptedDriver(actions0), ScriptedDriver(actions1)
+    p0 = Processor(sim, 0, nics[0], d0, timing, barrier=barrier)
+    p1 = Processor(sim, 3, nics[3], d1, timing, barrier=barrier)
+    p0.start()
+    p1.start()
+    return sim, (p0, p1), (d0, d1), nics
+
+
+class TestSendReceive:
+    def test_send_pays_overhead_and_delivers(self):
+        pkt = simple_packet(0, 3, pair_seq=0)
+        sim, procs, drivers, nics = two_node_setup(actions0=[Send(pkt)])
+        sim.run_until(20_000)
+        assert procs[0].packets_sent == 1
+        assert drivers[1].received == [pkt]
+        assert pkt.delivered_cycle > pkt.created_cycle >= 0
+
+    def test_send_overhead_precedes_injection(self):
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(actions0=[Send(pkt)])
+        sim.run_until(20_000)
+        assert pkt.injected_cycle >= CM5_TIMING.t_send
+
+    def test_receive_priority_over_actions(self):
+        """A processor with pending arrivals receives before computing."""
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(
+            actions0=[Send(pkt)],
+            actions1=[Compute(50_000)],  # first action is long compute
+        )
+        sim.run_until(80_000)
+        # compute started first, but after it the packet is received
+        assert drivers[1].received == [pkt]
+
+    def test_nic_full_retries_until_accepted(self):
+        packets = [simple_packet(0, 3, pair_seq=i) for i in range(6)]
+        sim, procs, drivers, nics = two_node_setup(
+            actions0=[Send(p) for p in packets]
+        )
+        sim.run_until(200_000)
+        assert procs[0].packets_sent == 6
+        assert len(drivers[1].received) == 6
+
+    def test_busy_cycles_accounted(self):
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(actions0=[Send(pkt)])
+        sim.run_until(20_000)
+        assert procs[0].busy_cycles >= CM5_TIMING.t_send
+        assert procs[1].busy_cycles >= CM5_TIMING.t_receive
+
+
+class TestTimingModel:
+    def test_receive_cost_reorder_penalty(self):
+        t = Timing()
+        base = t.receive_cost(1, in_order=False, exploit=False)
+        multi = t.receive_cost(4, in_order=False, exploit=False)
+        assert multi == base + t.reorder_penalty
+
+    def test_receive_cost_inorder_discount_requires_exploit(self):
+        t = Timing()
+        assert t.receive_cost(4, True, False) == t.t_receive
+        assert t.receive_cost(4, True, True) == t.t_receive - t.inorder_receive_discount
+
+    def test_single_packet_messages_pay_no_penalty(self):
+        t = Timing()
+        assert t.receive_cost(1, False, False) == t.t_receive
+
+
+class TestBarrier:
+    def test_barrier_synchronises(self):
+        sim, procs, drivers, nics = two_node_setup(
+            actions0=[WaitBarrier(), Compute(1)],
+            actions1=[Compute(5000), WaitBarrier(), Compute(1)],
+        )
+        sim.run_until(50_000)
+        assert procs[0].done and procs[1].done
+
+    def test_barrier_waiter_still_receives(self):
+        """Node in the barrier keeps polling: the sender's packet must be
+        accepted even though the receiver arrived at the barrier first."""
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(
+            nic_cls=NifdyNIC,
+            actions0=[Compute(3000), Send(pkt), WaitBarrier()],
+            actions1=[WaitBarrier()],
+        )
+        sim.run_until(100_000)
+        assert drivers[1].received == [pkt]
+        assert procs[0].done and procs[1].done
+
+    def test_missing_barrier_object_rejected(self):
+        sim = Simulator()
+        net = build_network("mesh2d", sim, 4)
+        nics = net.attach_nics(lambda n: PlainNIC(sim, n))
+        proc = Processor(
+            sim, 0, nics[0], ScriptedDriver([WaitBarrier()]), CM5_TIMING,
+            barrier=None,
+        )
+        proc.start()
+        with pytest.raises(RuntimeError):
+            sim.run_until(100)
+
+
+class TestIgnore:
+    def test_ignore_defers_reception(self):
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(
+            actions0=[Send(pkt)],
+            actions1=[Ignore(30_000)],
+        )
+        sim.run_until(25_000)
+        assert drivers[1].received == []  # still deaf
+        sim.run_until(80_000)
+        assert drivers[1].received == [pkt]
+
+    def test_done_processor_keeps_polling(self):
+        pkt = simple_packet(0, 3)
+        sim, procs, drivers, nics = two_node_setup(
+            actions0=[Compute(10_000), Send(pkt)],
+            actions1=[],  # immediately Done
+        )
+        sim.run_until(100_000)
+        assert drivers[1].received == [pkt]

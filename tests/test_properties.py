@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+end-to-end in-order delivery invariant."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.nic import NifdyParams, OutgoingPool, OutstandingPacketTable
+from repro.sim import RngFactory, Simulator
+from repro.traffic import PacketFactory
+
+from conftest import build_with_nics, drain_all, simple_packet
+from test_nifdy_protocol import feed
+
+
+class TestKernelProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=40))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.booleans()),
+            max_size=30,
+        )
+    )
+    def test_cancelled_events_never_fire(self, spec):
+        sim = Simulator()
+        fired = []
+        for i, (delay, cancel) in enumerate(spec):
+            event = sim.schedule(delay, fired.append, i)
+            if cancel:
+                event.cancel()
+        sim.run()
+        expected = [i for i, (_, cancel) in enumerate(spec) if not cancel]
+        assert sorted(fired) == expected
+
+
+class TestPoolProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30))
+    def test_pool_count_never_exceeds_capacity(self, dsts):
+        pool = OutgoingPool(4)
+        inserted = 0
+        for dst in dsts:
+            if pool.insert(simple_packet(0, dst)):
+                inserted += 1
+            assert len(pool) <= 4
+        assert inserted == min(len(dsts), 4)
+
+    @given(st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=20))
+    def test_pop_front_preserves_per_destination_fifo(self, dsts):
+        pool = OutgoingPool(len(dsts))
+        order = {}
+        for i, dst in enumerate(dsts):
+            pkt = simple_packet(0, dst, pair_seq=i)
+            pool.insert(pkt)
+            order.setdefault(dst, []).append(pkt)
+        for dst, expected in order.items():
+            popped = [pool.pop_front(dst) for _ in expected]
+            assert popped == expected
+
+
+class TestOptProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("ar"), st.integers(0, 5)),
+            max_size=40,
+        )
+    )
+    def test_opt_is_a_bounded_set(self, ops):
+        opt = OutstandingPacketTable(3)
+        shadow = set()
+        for op, dst in ops:
+            if op == "a" and dst not in shadow and len(shadow) < 3:
+                opt.add(dst)
+                shadow.add(dst)
+            elif op == "r" and dst in shadow:
+                opt.remove(dst)
+                shadow.discard(dst)
+            assert set(opt) == shadow
+            assert len(opt) <= 3
+
+
+class TestFactoryProperties:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.booleans(),
+    )
+    def test_packets_for_words_covers_payload(self, words, exploit):
+        factory = PacketFactory(0, packet_words=6, exploit_inorder=exploit)
+        count = factory.packets_for_words(words)
+        if exploit:
+            capacity = factory.payload_words + (count - 1) * factory.payload_words_inorder
+        else:
+            capacity = count * factory.payload_words
+        assert capacity >= words
+        # minimality: one fewer packet would not fit
+        if count > 1:
+            if exploit:
+                smaller = factory.payload_words + (count - 2) * factory.payload_words_inorder
+            else:
+                smaller = (count - 1) * factory.payload_words
+            assert smaller < words
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=12))
+    def test_pair_seq_strictly_increasing(self, lengths):
+        factory = PacketFactory(0)
+        seqs = []
+        for length in lengths:
+            seqs.extend(p.pair_seq for p in factory.message(3, length))
+        assert seqs == list(range(len(seqs)))
+
+
+class TestEndToEndOrdering:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        network=st.sampled_from(["fattree", "multibutterfly", "torus2d"]),
+        window=st.sampled_from([2, 4, 8]),
+        opt=st.sampled_from([2, 8]),
+        count=st.integers(min_value=5, max_value=25),
+        threshold=st.sampled_from([3, 100]),
+    )
+    def test_nifdy_always_delivers_in_order(self, network, window, opt, count, threshold):
+        """Whatever the parameters, NIFDY delivers each pair's packets in
+        send order and loses nothing."""
+        params = NifdyParams(opt_size=opt, pool_size=8, dialogs=1, window=window)
+        sim, net, nics = build_with_nics(network, 16, nic="nifdy", params=params)
+        factory = PacketFactory(0, bulk_threshold=threshold)
+        feed(sim, nics[0], factory.message(9, count))
+        delivered = drain_all(sim, nics, count, horizon=1_500_000)
+        assert [p.pair_seq for p in delivered] == list(range(count))

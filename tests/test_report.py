@@ -1,0 +1,162 @@
+"""Tests for the reporting module and the wire sequence encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    LatencyHistogram,
+    link_utilization_report,
+    results_to_csv,
+    utilization_summary,
+)
+from repro.nic import wire_decode_sequence, wire_encode_sequence
+
+
+class TestLatencyHistogram:
+    def test_mean_and_max(self):
+        hist = LatencyHistogram()
+        for value in (10, 20, 60):
+            hist.note(value)
+        assert hist.mean == 30
+        assert hist.maximum == 60
+        assert hist.count == 3
+
+    def test_percentiles_monotonic(self):
+        hist = LatencyHistogram()
+        for value in range(1, 200):
+            hist.note(value)
+        p50 = hist.percentile(0.5)
+        p95 = hist.percentile(0.95)
+        assert p50 <= p95
+        assert p95 >= 95  # bucket upper bound covers the true percentile
+
+    def test_empty_histogram(self):
+        assert LatencyHistogram().percentile(0.5) == 0
+        assert LatencyHistogram().mean == 0.0
+
+    def test_invalid_inputs(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.note(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+
+    def test_rows_render(self):
+        hist = LatencyHistogram()
+        hist.note(1)
+        hist.note(100)
+        rows = hist.rows()
+        assert len(rows) == 2
+        assert all(count == 1 for _, count in rows)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1))
+    def test_percentile_upper_bounds_true_value(self, values):
+        import math
+
+        hist = LatencyHistogram()
+        for value in values:
+            hist.note(value)
+        ordered = sorted(values)
+        for frac in (0.5, 0.9, 1.0):
+            # same rank convention as the histogram: smallest value with
+            # cumulative count >= frac * n
+            true_value = ordered[math.ceil(frac * len(ordered)) - 1]
+            # the returned bucket upper bound covers the true percentile
+            assert hist.percentile(frac) >= true_value
+
+
+class TestLinkUtilization:
+    def _run(self):
+        from repro.experiments import heavy_synthetic, run_experiment
+
+        result = run_experiment(
+            "mesh2d", heavy_synthetic(), num_nodes=16, nic_mode="plain",
+            run_cycles=5000, seed=1,
+        )
+        return result
+
+    def test_report_sorted_busiest_first(self):
+        from repro.networks import build_network
+        from repro.sim import Simulator
+        # reuse the experiment's network via its nics' links? build anew:
+        result = self._run()
+        network = None
+        # network object lives inside the runner; reconstruct via nics
+        # links: use any nic's injection link's sim... simpler: rebuild and
+        # drive directly
+        sim = Simulator()
+        net = build_network("mesh2d", sim, 4)
+        from repro.nic import PlainNIC
+        nics = net.attach_nics(lambda n: PlainNIC(sim, n, out_capacity=8))
+        from conftest import drain_all, simple_packet
+        for i in range(6):
+            nics[0].try_send(simple_packet(0, 3))
+        drain_all(sim, nics, 6)
+        rows = link_utilization_report(net, sim.now)
+        assert rows == sorted(rows, key=lambda r: r.utilization, reverse=True)
+        assert rows[0].utilization > 0
+        summary = utilization_summary(net, sim.now)
+        assert 0 <= summary["mean"] <= summary["max"] <= 1.0
+
+    def test_top_limits_rows(self):
+        from repro.networks import build_network
+        from repro.sim import Simulator
+
+        net = build_network("mesh2d", Simulator(), 16)
+        assert len(link_utilization_report(net, 100, top=5)) == 5
+
+
+class TestCsvExport:
+    def test_round_trip(self):
+        from repro.experiments import heavy_synthetic, run_experiment
+
+        results = [
+            run_experiment("mesh2d", heavy_synthetic(), num_nodes=16,
+                           nic_mode=mode, run_cycles=3000, seed=1)
+            for mode in ("plain", "nifdy")
+        ]
+        text = results_to_csv(results)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("network,")
+        assert "nifdy" in lines[2]
+
+
+class TestWireSequence:
+    def test_encode_is_modular(self):
+        assert wire_encode_sequence(0, 4) == 0
+        assert wire_encode_sequence(8, 4) == 0
+        assert wire_encode_sequence(11, 4) == 3
+
+    def test_decode_live_packet(self):
+        # next expected 10, window 4: live seqs are 10..13
+        for seq in range(10, 14):
+            wire = wire_encode_sequence(seq, 4)
+            decoded, dup = wire_decode_sequence(wire, 10, 4)
+            assert decoded == seq and not dup
+
+    def test_decode_old_duplicate(self):
+        # seqs 6..9 were delivered within the last window
+        for seq in range(6, 10):
+            wire = wire_encode_sequence(seq, 4)
+            decoded, dup = wire_decode_sequence(wire, 10, 4)
+            assert decoded == seq and dup
+
+    @given(
+        window=st.sampled_from([2, 4, 8, 16]),
+        next_expected=st.integers(min_value=0, max_value=10 ** 6),
+        offset=st.integers(min_value=-16, max_value=15),
+    )
+    def test_roundtrip_within_protocol_invariant(self, window, next_expected, offset):
+        """Any sequence within W of next_expected (either side) decodes to
+        itself -- the paper's claim that log2(2W)-bit sequence fields
+        suffice."""
+        if not -window <= offset < window:
+            return
+        seq = next_expected + offset
+        if seq < 0:
+            return
+        wire = wire_encode_sequence(seq, window)
+        decoded, dup = wire_decode_sequence(wire, next_expected, window)
+        assert decoded == seq
+        assert dup == (offset < 0)

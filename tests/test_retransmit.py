@@ -1,0 +1,93 @@
+"""Tests for the lossy-network extension (Section 6.2)."""
+
+import pytest
+
+from repro.networks import build_network
+from repro.nic import NifdyParams, RetransmittingNifdyNIC
+from repro.sim import RngFactory, Simulator
+
+from conftest import drain_all
+from test_nifdy_protocol import feed, stream
+
+
+def lossy_setup(drop_prob, num_nodes=16, network="fattree", params=None,
+                retx_timeout=800, seed=5):
+    sim = Simulator()
+    rngf = RngFactory(seed)
+    net = build_network(
+        network, sim, num_nodes,
+        rng=rngf.stream("route"),
+        drop_prob=drop_prob,
+        drop_rng=rngf.stream("drop"),
+    )
+    params = params or NifdyParams(opt_size=4, pool_size=8, dialogs=1, window=4)
+    nics = net.attach_nics(
+        lambda n: RetransmittingNifdyNIC(sim, n, params, retx_timeout=retx_timeout)
+    )
+    return sim, net, nics
+
+
+class TestScalarRetransmission:
+    def test_all_packets_delivered_despite_drops(self):
+        sim, net, nics = lossy_setup(0.15)
+        feed(sim, nics[0], stream(0, 9, 15, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 15, horizon=2_000_000)
+        assert len(delivered) == 15
+        assert nics[0].retransmissions > 0
+
+    def test_delivery_remains_in_order(self):
+        sim, net, nics = lossy_setup(0.2)
+        feed(sim, nics[0], stream(0, 9, 20, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 20, horizon=2_000_000)
+        assert [p.pair_seq for p in delivered] == list(range(20))
+
+    def test_no_duplicates_reach_processor(self):
+        sim, net, nics = lossy_setup(0.25)
+        feed(sim, nics[0], stream(0, 9, 15, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 15, horizon=2_000_000)
+        uids = [p.uid for p in delivered]
+        assert len(uids) == len(set(uids)) == 15
+
+    def test_reliable_network_needs_no_retransmissions(self):
+        sim, net, nics = lossy_setup(0.0)
+        feed(sim, nics[0], stream(0, 9, 10, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 10)
+        assert len(delivered) == 10
+        assert nics[0].retransmissions == 0
+        assert nics[9].duplicates_dropped == 0
+
+
+class TestBulkRetransmission:
+    def test_bulk_transfer_completes_despite_drops(self):
+        sim, net, nics = lossy_setup(0.15)
+        feed(sim, nics[0], stream(0, 9, 24, {"bulk_threshold": 4}))
+        delivered = drain_all(sim, nics, 24, horizon=3_000_000)
+        assert [p.pair_seq for p in delivered] == list(range(24))
+
+    def test_dialog_eventually_torn_down(self):
+        sim, net, nics = lossy_setup(0.15)
+        feed(sim, nics[0], stream(0, 9, 12, {"bulk_threshold": 4}))
+        delivered = drain_all(sim, nics, 12, horizon=3_000_000)
+        assert len(delivered) == 12
+        sim.run_until(sim.now + 100_000)
+        assert nics[9]._rx_dialogs == {}
+        assert nics[0]._bulk_out is None
+
+    def test_many_pairs_under_loss(self):
+        sim, net, nics = lossy_setup(0.1, num_nodes=16)
+        expected = 0
+        for src in range(0, 16, 2):
+            dst = (src + 7) % 16
+            feed(sim, nics[src], stream(src, dst, 8, {"bulk_threshold": 4}))
+            expected += 8
+        delivered = drain_all(sim, nics, expected, horizon=3_000_000)
+        assert len(delivered) == expected
+
+
+class TestGiveUp:
+    def test_max_retries_raises(self):
+        sim, net, nics = lossy_setup(1.0, retx_timeout=200)
+        nics[0].max_retries = 3
+        feed(sim, nics[0], stream(0, 9, 1, {"bulk_threshold": 10 ** 9}))
+        with pytest.raises(RuntimeError, match="gave up"):
+            sim.run_until(200 * 10)

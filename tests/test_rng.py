@@ -1,0 +1,42 @@
+"""Tests for dedicated per-consumer RNG streams."""
+
+from repro.sim import RngFactory
+
+
+def test_same_name_same_stream_object():
+    factory = RngFactory(42)
+    assert factory.stream("a") is factory.stream("a")
+
+
+def test_streams_reproducible_across_factories():
+    a = RngFactory(42).stream("traffic:3")
+    b = RngFactory(42).stream("traffic:3")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_stream_isolation_from_other_consumers():
+    """Adding another consumer must not perturb an existing stream --
+    the property Section 3 relies on for config-independent traffic."""
+    solo = RngFactory(7)
+    seq_solo = [solo.stream("node:1").random() for _ in range(5)]
+
+    crowded = RngFactory(7)
+    crowded.stream("node:0").random()
+    crowded.stream("nifdy:route").random()
+    seq_crowded = [crowded.stream("node:1").random() for _ in range(5)]
+    assert seq_solo == seq_crowded
+
+
+def test_different_names_differ():
+    factory = RngFactory(0)
+    assert factory.stream("x").random() != factory.stream("y").random()
+
+
+def test_different_seeds_differ():
+    assert RngFactory(1).stream("x").random() != RngFactory(2).stream("x").random()
+
+
+def test_fork_is_independent():
+    base = RngFactory(9)
+    forked = base.fork("child")
+    assert base.stream("s").random() != forked.stream("s").random()

@@ -1,0 +1,246 @@
+"""Tests for the workload drivers (synthetic, C-shift, EM3D, radix sort)."""
+
+import pytest
+
+from repro.node import Compute, Done, Ignore, Send, WaitBarrier
+from repro.sim import RngFactory
+from repro.traffic import (
+    CShiftConfig,
+    CShiftDriver,
+    Em3dConfig,
+    Em3dDriver,
+    RadixSortConfig,
+    RadixSortDriver,
+    SyntheticConfig,
+    SyntheticDriver,
+)
+
+
+class FakeProc:
+    """Just enough Processor surface for drivers pulled outside a sim."""
+
+    class sim:
+        now = 0
+
+    class timing:
+        t_poll = 22
+
+
+def pull_actions(driver, limit=10_000):
+    """Drain a driver's action stream (no simulator needed for send-only
+    drivers); returns the actions up to Done or the limit."""
+    if not hasattr(driver, "proc"):
+        driver.proc = FakeProc()
+    actions = []
+    for _ in range(limit):
+        action = driver.next_action()
+        actions.append(action)
+        if isinstance(action, Done):
+            break
+    return actions
+
+
+class TestSynthetic:
+    def test_heavy_phase_quota_and_barrier(self):
+        cfg = SyntheticConfig.heavy_traffic(packets_per_phase=20, max_phases=2)
+        driver = SyntheticDriver(3, 16, cfg, RngFactory(0))
+        actions = pull_actions(driver)
+        sends = [a for a in actions if isinstance(a, Send)]
+        barriers = [a for a in actions if isinstance(a, WaitBarrier)]
+        assert len(sends) == 40
+        assert len(barriers) == 2
+        assert isinstance(actions[-1], Done)
+
+    def test_heavy_message_lengths_in_range(self):
+        cfg = SyntheticConfig.heavy_traffic(packets_per_phase=100, max_phases=1)
+        driver = SyntheticDriver(0, 16, cfg, RngFactory(1))
+        sends = [a.packet for a in pull_actions(driver) if isinstance(a, Send)]
+        lengths = {p.msg_len for p in sends}
+        assert lengths <= {1, 2, 3, 4, 5}
+        assert len(lengths) > 1
+
+    def test_messages_are_consecutive_to_same_destination(self):
+        cfg = SyntheticConfig.heavy_traffic(packets_per_phase=50, max_phases=1)
+        driver = SyntheticDriver(0, 16, cfg, RngFactory(2))
+        sends = [a.packet for a in pull_actions(driver) if isinstance(a, Send)]
+        i = 0
+        while i < len(sends):
+            msg = [p for p in sends if p.msg_id == sends[i].msg_id]
+            assert len({p.dst for p in msg}) == 1
+            assert [p.msg_seq for p in msg] == list(range(len(msg)))
+            i += len(msg)
+
+    def test_no_self_sends(self):
+        cfg = SyntheticConfig.heavy_traffic(packets_per_phase=200, max_phases=1)
+        for node in (0, 7, 15):
+            driver = SyntheticDriver(node, 16, cfg, RngFactory(3))
+            sends = [a.packet for a in pull_actions(driver) if isinstance(a, Send)]
+            assert all(p.dst != node for p in sends)
+
+    def test_light_traffic_has_long_messages_and_ignores(self):
+        cfg = SyntheticConfig.light_traffic(packets_per_phase=60, max_phases=20)
+        driver = SyntheticDriver(5, 16, cfg, RngFactory(4))
+        actions = pull_actions(driver, limit=50_000)
+        lengths = {a.packet.msg_len for a in actions if isinstance(a, Send)}
+        assert 10 in lengths or 20 in lengths
+        assert any(isinstance(a, Ignore) and a.cycles >= 200 for a in actions)
+
+    def test_traffic_identical_across_exploit_flag(self):
+        """Section 3: the same burst sequence regardless of configuration."""
+        cfg = SyntheticConfig.heavy_traffic(packets_per_phase=30, max_phases=2)
+        a = SyntheticDriver(1, 16, cfg, RngFactory(9), exploit_inorder=False)
+        b = SyntheticDriver(1, 16, cfg, RngFactory(9), exploit_inorder=True)
+        sa = [(p.packet.dst, p.packet.msg_len) for p in pull_actions(a) if isinstance(p, Send)]
+        sb = [(p.packet.dst, p.packet.msg_len) for p in pull_actions(b) if isinstance(p, Send)]
+        assert sa == sb
+
+
+class TestCShift:
+    def test_destinations_follow_shift_pattern(self):
+        cfg = CShiftConfig(words_per_phase=8, phases=3)
+        driver = CShiftDriver(2, 8, cfg)
+        sends = [a.packet for a in pull_actions(driver) if isinstance(a, Send)]
+        dsts = []
+        for p in sends:
+            if p.dst not in dsts:
+                dsts.append(p.dst)
+        assert dsts == [(2 + 1) % 8, (2 + 2) % 8, (2 + 3) % 8]
+
+    def test_full_run_covers_all_peers(self):
+        cfg = CShiftConfig(words_per_phase=4)
+        driver = CShiftDriver(0, 8, cfg)
+        sends = [a.packet for a in pull_actions(driver) if isinstance(a, Send)]
+        assert {p.dst for p in sends} == set(range(1, 8))
+
+    def test_barrier_variant_emits_barriers(self):
+        cfg = CShiftConfig(words_per_phase=4, barriers=True, phases=3)
+        driver = CShiftDriver(0, 8, cfg)
+        actions = pull_actions(driver)
+        assert sum(isinstance(a, WaitBarrier) for a in actions) == 3
+
+    def test_no_barrier_variant_runs_free(self):
+        cfg = CShiftConfig(words_per_phase=4, barriers=False, phases=3)
+        actions = pull_actions(CShiftDriver(0, 8, cfg))
+        assert not any(isinstance(a, WaitBarrier) for a in actions)
+
+    def test_inorder_mode_sends_fewer_packets(self):
+        cfg = CShiftConfig(words_per_phase=60, phases=2)
+        plain = [a for a in pull_actions(CShiftDriver(0, 8, cfg, exploit_inorder=False)) if isinstance(a, Send)]
+        inorder = [a for a in pull_actions(CShiftDriver(0, 8, cfg, exploit_inorder=True)) if isinstance(a, Send)]
+        assert len(inorder) < len(plain)
+
+
+class TestEm3d:
+    def test_graph_deterministic_across_configs(self):
+        cfg = Em3dConfig(n_nodes=30, d_nodes=5, local_p=50, dist_span=3)
+        a = Em3dDriver(4, 16, cfg, RngFactory(5), exploit_inorder=False)
+        b = Em3dDriver(4, 16, cfg, RngFactory(5), exploit_inorder=True)
+        assert a.remote == b.remote
+
+    def test_remote_fraction_tracks_local_p(self):
+        mostly_local = Em3dConfig(n_nodes=200, d_nodes=10, local_p=80, dist_span=5)
+        mostly_remote = Em3dConfig(n_nodes=200, d_nodes=10, local_p=3, dist_span=5)
+        rngf = RngFactory(6)
+        local_driver = Em3dDriver(3, 16, mostly_local, rngf)
+        remote_driver = Em3dDriver(3, 16, mostly_remote, RngFactory(6))
+        count = lambda d: sum(sum(h.values()) for h in d.remote)
+        assert count(remote_driver) > 3 * count(local_driver)
+
+    def test_remote_targets_within_span(self):
+        cfg = Em3dConfig(n_nodes=100, d_nodes=10, local_p=0, dist_span=2)
+        driver = Em3dDriver(8, 32, cfg, RngFactory(7))
+        allowed = {(8 + off) % 32 for off in (-2, -1, 1, 2)}
+        for half in driver.remote:
+            assert set(half) <= allowed
+
+    def test_iteration_structure(self):
+        cfg = Em3dConfig(n_nodes=10, d_nodes=4, local_p=0, dist_span=2,
+                         iterations=2)
+        driver = Em3dDriver(0, 8, cfg, RngFactory(8))
+
+        class FakeProc:
+            class sim:
+                now = 0
+
+        driver.proc = FakeProc()
+        actions = pull_actions(driver, limit=100_000)
+        barriers = sum(isinstance(a, WaitBarrier) for a in actions)
+        computes = sum(isinstance(a, Compute) for a in actions)
+        assert barriers == 4  # 2 halves x 2 iterations
+        assert computes == 4
+
+
+class TestRadixSort:
+    def test_first_node_sends_all_buckets(self):
+        cfg = RadixSortConfig(buckets=16)
+        driver = RadixSortDriver(0, 4, cfg, RngFactory(0))
+
+        class FakeProc:
+            class sim:
+                now = 0
+            class timing:
+                t_poll = 22
+
+        driver.proc = FakeProc()
+        actions = pull_actions(driver, limit=10_000)
+        sends = [a for a in actions if isinstance(a, Send)]
+        assert len(sends) == 16
+        assert all(a.packet.dst == 1 for a in sends)
+
+    def test_middle_node_waits_for_upstream(self):
+        cfg = RadixSortConfig(buckets=4)
+        driver = RadixSortDriver(1, 4, cfg, RngFactory(0))
+
+        class FakeProc:
+            class sim:
+                now = 0
+            class timing:
+                t_poll = 22
+
+        driver.proc = FakeProc()
+        first = driver.next_action()
+        assert isinstance(first, Ignore)  # nothing received yet
+        # feed one upstream packet
+        from conftest import simple_packet
+
+        pkt = simple_packet(0, 1)
+        pkt.payload = ("scan", 0)
+        driver.on_packet(pkt)
+        nxt = driver.next_action()
+        assert isinstance(nxt, Compute)  # combine
+        send = driver.next_action()
+        assert isinstance(send, Send)
+        assert send.packet.dst == 2
+
+    def test_delay_variant_inserts_compute(self):
+        cfg = RadixSortConfig(buckets=8, inter_send_delay=100)
+        driver = RadixSortDriver(0, 4, cfg, RngFactory(0))
+
+        class FakeProc:
+            class sim:
+                now = 0
+            class timing:
+                t_poll = 22
+
+        driver.proc = FakeProc()
+        actions = pull_actions(driver, limit=1000)
+        delays = [a for a in actions if isinstance(a, Compute) and a.cycles == 100]
+        assert len(delays) == 7  # between consecutive sends
+
+    def test_coalesce_random_destinations(self):
+        cfg = RadixSortConfig(buckets=2, run_coalesce=True, keys_per_processor=30)
+        driver = RadixSortDriver(0, 8, cfg, RngFactory(1))
+
+        class FakeProc:
+            class sim:
+                now = 0
+            class timing:
+                t_poll = 22
+
+        driver.proc = FakeProc()
+        actions = pull_actions(driver, limit=10_000)
+        keys = [a.packet for a in actions if isinstance(a, Send)
+                and isinstance(a.packet.payload, tuple) and a.packet.payload[0] == "key"]
+        assert len(keys) == 30
+        assert len({p.dst for p in keys}) > 1
+        assert all(p.msg_len == 1 for p in keys)
