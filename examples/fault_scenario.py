@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""A scripted fault scenario: fail, degrade, repair, recover.
+
+A 16-node fat tree runs the C-shift workload while a fault plan fails one
+of the tree's up links at cycle 5,000, overlays a 10% packet-loss burst,
+and repairs both at cycle 60,000.  The retransmitting NIFDY interface must
+mask all of it: the workload completes in order with zero software-visible
+anomalies, and the degradation report shows per-phase throughput plus the
+time to recover after the repair.
+
+Run:  python examples/fault_scenario.py
+Exits non-zero if the run is incomplete, reordered, or dropped traffic
+(so it doubles as a smoke test in CI).
+"""
+
+import sys
+
+from repro.experiments import cshift, run_experiment
+from repro.faults import FaultPlan
+from repro.metrics import degradation_report, format_degradation
+
+FAIL_AT = 5_000
+REPAIR_AT = 60_000
+
+
+def main() -> int:
+    plan = FaultPlan.from_shorthand([
+        f"fail@{FAIL_AT}-{REPAIR_AT}:link=ft:up1.0",
+        f"burst@{FAIL_AT}-{REPAIR_AT}:prob=0.1",
+    ])
+    print("16-node fat tree, C-shift workload")
+    print(f"  link ft:up1.0 fails at cycle {FAIL_AT:,}, repaired at {REPAIR_AT:,}")
+    print(f"  10% packet loss on every link while it is down\n")
+    result = run_experiment(
+        "fattree",
+        cshift(),
+        num_nodes=16,
+        nic_mode="nifdy",
+        fault_plan=plan,
+        max_cycles=5_000_000,
+        seed=1,
+    )
+    print(f"cycles simulated : {result.cycles:,}")
+    print(f"packets sent     : {result.sent:,}")
+    print(f"packets delivered: {result.delivered:,}")
+    print(f"order violations : {result.order_violations}")
+    report = degradation_report(
+        metrics=result.metrics,
+        nics=result.nics,
+        network=result.network_obj,
+        cycles=result.cycles,
+        boundaries=plan.boundaries(),
+        repairs=[(e.at, e.describe()) for e in plan.repairs()],
+        timeline=result.fault_injector.timeline,
+    )
+    print(format_degradation(report))
+    print("fault timeline:")
+    for cycle, text in result.fault_injector.timeline:
+        print(f"  @{cycle:>9,}  {text}")
+
+    anomalies = []
+    if not result.completed:
+        anomalies.append("run did not complete")
+        if result.stall_report:
+            print(result.stall_report)
+    if result.delivered != result.sent:
+        anomalies.append(f"delivered {result.delivered} of {result.sent}")
+    if result.order_violations:
+        anomalies.append(f"{result.order_violations} order violations")
+    if result.abandoned:
+        anomalies.append(f"{result.abandoned} packets abandoned")
+    if anomalies:
+        print("\nFAILED: " + "; ".join(anomalies))
+        return 1
+    print("\nEvery packet arrived, in order: the faults were software-invisible.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,12 @@ with the NIC masking every loss from the software -- "we have used simple
 hardware to mask an exceptional condition".
 
 Run:  python examples/lossy_network.py
+Exits non-zero if any transfer is incomplete or out of order (so it
+doubles as a smoke test in CI).
 """
+
+import sys
+from collections import deque
 
 from repro.networks import build_network
 from repro.nic import NifdyParams, RetransmittingNifdyNIC
@@ -15,7 +20,7 @@ from repro.sim import RngFactory, Simulator
 from repro.traffic import PacketFactory
 
 
-def run(drop_prob: float) -> None:
+def run(drop_prob: float) -> bool:
     sim = Simulator()
     rngf = RngFactory(17)
     network = build_network(
@@ -30,11 +35,11 @@ def run(drop_prob: float) -> None:
     )
 
     message = PacketFactory(0, bulk_threshold=4).message(dst=9, num_packets=30)
-    queue = list(message)
+    queue = deque(message)
 
     def pump() -> None:
         while queue and nics[0].try_send(queue[0]):
-            queue.pop(0)
+            queue.popleft()
         if queue:
             sim.schedule(50, pump)
 
@@ -65,14 +70,20 @@ def run(drop_prob: float) -> None:
         f"receiver discarded {nics[9].duplicates_dropped} duplicates, "
         f"took {took}"
     )
+    return order_ok and len(received) == len(message)
 
 
-def main() -> None:
+def main() -> int:
     print("30-packet bulk transfer, 16-node fat tree with lossy links\n")
+    ok = True
     for drop_prob in (0.0, 0.05, 0.15, 0.30):
-        run(drop_prob)
-    print("\nSoftware saw a perfectly reliable, in-order channel every time.")
+        ok = run(drop_prob) and ok
+    if ok:
+        print("\nSoftware saw a perfectly reliable, in-order channel every time.")
+        return 0
+    print("\nFAILED: a transfer was incomplete or reordered.")
+    return 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

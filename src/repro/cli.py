@@ -21,6 +21,8 @@ import sys
 from typing import List, Optional
 
 from .analysis import NetworkModel, characterize, recommend_params
+from .faults import FaultPlan
+from .metrics import degradation_report, format_degradation
 from .experiments import (
     best_params,
     cshift,
@@ -68,6 +70,20 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _fault_plan_from_args(args) -> Optional[FaultPlan]:
+    plan = None
+    if args.fault_plan:
+        plan = FaultPlan.from_json_file(args.fault_plan)
+    if args.fault:
+        shorthand = FaultPlan.from_shorthand(args.fault)
+        if plan is None:
+            plan = shorthand
+        else:
+            for event in shorthand:
+                plan.add(event)
+    return plan
+
+
 def _cmd_run(args) -> int:
     params = None
     if any(v is not None for v in (args.opt, args.pool, args.dialogs, args.window)):
@@ -78,6 +94,7 @@ def _cmd_run(args) -> int:
             dialogs=args.dialogs if args.dialogs is not None else base.dialogs,
             window=args.window if args.window is not None else base.window,
         )
+    plan = _fault_plan_from_args(args)
     fixed_horizon = args.traffic in ("heavy", "light")
     result = run_experiment(
         args.network,
@@ -89,6 +106,9 @@ def _cmd_run(args) -> int:
         max_cycles=args.max_cycles,
         seed=args.seed,
         drop_prob=args.drop,
+        max_retries=args.max_retries,
+        fault_plan=plan,
+        watchdog_cycles=args.watchdog,
     )
     print(f"network          : {result.network}")
     print(f"NIC mode         : {result.nic_mode}")
@@ -100,6 +120,25 @@ def _cmd_run(args) -> int:
     print(f"mean latency     : {result.mean_network_latency:.0f} cycles "
           "(injection -> accept)")
     print(f"order violations : {result.order_violations}")
+    if plan is not None or args.drop > 0.0:
+        # A faulted run earns its degradation section: how much of the
+        # offered traffic survived and what the recovery machinery cost.
+        report = degradation_report(
+            metrics=result.metrics,
+            nics=result.nics,
+            network=result.network_obj,
+            cycles=result.cycles,
+            boundaries=plan.boundaries() if plan else (),
+            repairs=[(e.at, e.describe()) for e in plan.repairs()] if plan else (),
+            timeline=result.fault_injector.timeline if result.fault_injector else (),
+        )
+        print(format_degradation(report))
+        if result.fault_injector is not None:
+            print("fault timeline:")
+            for cycle, text in result.fault_injector.timeline:
+                print(f"  @{cycle:>9,}  {text}")
+    if result.stall_report:
+        print(result.stall_report)
     return 0 if result.completed or fixed_horizon else 1
 
 
@@ -159,6 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--drop", type=float, default=0.0,
                      help="per-link packet drop probability (Section 6.2)")
+    run.add_argument("--fault-plan", default=None, metavar="FILE",
+                     help="JSON fault plan (see docs/protocol.md, Fault model)")
+    run.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                     help="shorthand fault event, repeatable; e.g. "
+                     "'fail@5000-20000:link=ft:up1.0', "
+                     "'burst@5000-20000:prob=0.1', "
+                     "'burst@1000-3000:prob=0.3,net=ack', "
+                     "'pause@1000-4000:node=3'")
+    run.add_argument("--max-retries", type=int, default=50,
+                     help="retransmission attempts before a packet is "
+                     "abandoned (graceful degradation)")
+    run.add_argument("--watchdog", type=int, default=200_000,
+                     help="liveness watchdog horizon in cycles "
+                     "(0 disables; run-to-completion workloads only)")
     run.add_argument("--opt", type=int, default=None, help="NIFDY O")
     run.add_argument("--pool", type=int, default=None, help="NIFDY B")
     run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")

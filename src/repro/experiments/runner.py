@@ -18,6 +18,14 @@ NIC modes (matching the bars of Figures 2/3 and 6-9):
 On topologies that deliver in order by construction (2D mesh with one VC,
 butterfly) the in-order-aware library is used for every mode, exactly as
 the paper does.
+
+Fault injection: pass a :class:`~repro.faults.FaultPlan` and the runner
+attaches a :class:`~repro.faults.FaultInjector`, switches the NIFDY modes to
+the retransmitting variant, and arms a liveness watchdog -- a run that goes
+quiescent while packets are still owed is stopped and diagnosed (which
+node/dialog is stuck) instead of silently burning its ``max_cycles``.
+Retry exhaustion degrades gracefully in experiment runs: the NIC abandons
+the packet, the metrics record it, and the sender's driver is notified.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..faults import FaultInjector, FaultPlan
 from ..metrics import CongestionTracker, MetricsCollector
 from ..networks import build_network
 from ..nic import BufferedNIC, NifdyNIC, NifdyParams, PlainNIC, RetransmittingNifdyNIC
@@ -66,11 +75,15 @@ class ExperimentResult:
     order_violations: int
     mean_network_latency: float
     mean_total_latency: float
+    abandoned: int = 0
+    stall_report: Optional[str] = None
     drivers: List[TrafficDriver] = field(repr=False, default_factory=list)
     processors: List[Processor] = field(repr=False, default_factory=list)
     nics: List = field(repr=False, default_factory=list)
+    network_obj: Optional[object] = field(repr=False, default=None)
     congestion: Optional[CongestionTracker] = field(repr=False, default=None)
     metrics: Optional[MetricsCollector] = field(repr=False, default=None)
+    fault_injector: Optional[FaultInjector] = field(repr=False, default=None)
 
     @property
     def throughput(self) -> float:
@@ -85,6 +98,8 @@ def make_nic_factory(
     params: NifdyParams,
     lossy: bool = False,
     retx_timeout: int = 1000,
+    on_exhaust: str = "abandon",
+    max_retries: int = 50,
 ) -> Callable[[int], object]:
     """NIC constructor for ``nic_mode`` (see module docstring)."""
     if nic_mode == "plain":
@@ -95,10 +110,59 @@ def make_nic_factory(
     if nic_mode in ("nifdy", "nifdy-"):
         if lossy:
             return lambda node: RetransmittingNifdyNIC(
-                sim, node, params, retx_timeout=retx_timeout
+                sim, node, params, retx_timeout=retx_timeout,
+                on_exhaust=on_exhaust, max_retries=max_retries,
             )
         return lambda node: NifdyNIC(sim, node, params)
     raise ValueError(f"unknown NIC mode {nic_mode!r}; choose from {NIC_MODES}")
+
+
+def describe_stall(nics, processors, metrics) -> str:
+    """Explain a quiescent-but-incomplete run: which node, which packet,
+    which dialog.  This is the liveness watchdog's post-mortem."""
+    lines = [
+        f"stalled with {metrics.in_flight} packet(s) owed "
+        f"(sent={metrics.sent}, delivered={metrics.delivered}, "
+        f"abandoned={metrics.abandoned})"
+    ]
+    for node, (nic, proc) in enumerate(zip(nics, processors)):
+        issues = []
+        if not proc.done:
+            issues.append("driver not done")
+        if getattr(proc, "_paused", False):
+            issues.append("processor paused")
+        hold = getattr(nic, "_hold", None)
+        if hold:
+            for key, held in list(hold.items())[:4]:
+                packet, _, tries = held[0], held[1], held[2]
+                what = (
+                    f"scalar to {packet.dst}" if key[0] == "s"
+                    else f"bulk dialog {key[2]} seq {key[3]} to {packet.dst}"
+                )
+                issues.append(f"retransmitting {what} ({tries} tries so far)")
+        outstanding = getattr(nic, "opt", None)
+        if outstanding is not None and len(outstanding):
+            issues.append(
+                "unacked scalar destinations: "
+                + ", ".join(str(d) for d in sorted(outstanding))
+            )
+        dialogs = getattr(nic, "_rx_dialogs", None)
+        if dialogs:
+            for dialog in dialogs.values():
+                issues.append(
+                    f"rx dialog #{dialog.dialog} from {dialog.src} waiting for "
+                    f"seq {dialog.next_deliver_seq} "
+                    f"({len(dialog.buffers)} buffered)"
+                )
+        pool = getattr(nic, "pool", None)
+        if pool is not None and len(pool):
+            issues.append(f"{len(pool)} packet(s) queued in the pool")
+        if issues:
+            lines.append(f"  node {node}: " + "; ".join(issues))
+    if len(lines) == 1:
+        lines.append("  (no per-node protocol state pending; likely a driver "
+                     "waiting on traffic that was lost or abandoned)")
+    return "\n".join(lines)
 
 
 def run_experiment(
@@ -118,6 +182,10 @@ def run_experiment(
     congestion_sample_every: int = 1000,
     drop_prob: float = 0.0,
     retx_timeout: int = 1000,
+    on_exhaust: str = "abandon",
+    max_retries: int = 50,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog_cycles: int = 200_000,
     network_overrides: Optional[Dict] = None,
 ) -> ExperimentResult:
     """Build and run one experiment.
@@ -129,6 +197,13 @@ def run_experiment(
     ``active_nodes`` runs the workload on only the first N nodes of a
     larger fabric (a partially-populated machine, like the paper's 32-node
     CM-5 runs); the remaining nodes idle but stay responsive.
+
+    ``fault_plan`` injects structured faults (see :mod:`repro.faults`); the
+    NIFDY modes then use the retransmitting NIC.  ``watchdog_cycles`` is
+    the liveness horizon for run-to-completion workloads: a run with no
+    packet movement for that long while work is still owed is declared
+    stalled (``result.stall_report`` says what is stuck) rather than
+    simulated to ``max_cycles``.  Set to 0 to disable.
     """
     sim = Simulator()
     rngf = RngFactory(seed)
@@ -142,8 +217,10 @@ def run_experiment(
         **(network_overrides or {}),
     )
     params = nifdy_params or best_params(network)
+    lossy = drop_prob > 0.0 or fault_plan is not None
     nic_factory = make_nic_factory(
-        sim, nic_mode, params, lossy=drop_prob > 0.0, retx_timeout=retx_timeout
+        sim, nic_mode, params, lossy=lossy, retx_timeout=retx_timeout,
+        on_exhaust=on_exhaust, max_retries=max_retries,
     )
     nics = net.attach_nics(nic_factory)
     exploit = net.delivers_in_order or nic_mode == "nifdy"
@@ -168,8 +245,27 @@ def run_experiment(
         )
         for node in range(num_nodes)
     ]
-    metrics = MetricsCollector(num_nodes, check_order=check_order)
+    metrics = MetricsCollector(
+        num_nodes,
+        check_order=check_order,
+        record_delivery_cycles=fault_plan is not None,
+    )
     metrics.attach(nics, processors)
+    # Abandonment must reach two parties: the metrics (so the run can
+    # terminate and report the loss) and the sender's driver (so workloads
+    # tracking expected traffic don't wait forever).
+    for node, nic in enumerate(nics):
+        def _abandon(packet, _driver=drivers[node]):
+            metrics.note_abandon(packet)
+            _driver.on_abandoned(packet)
+        nic.on_abandon = _abandon
+    injector = None
+    if fault_plan is not None and fault_plan:
+        injector = FaultInjector(
+            sim, net, fault_plan, processors=processors,
+            rng=rngf.stream("faults"),
+        )
+        injector.start()
     tracker = None
     if track_congestion:
         tracker = CongestionTracker(sim, metrics, congestion_sample_every)
@@ -178,10 +274,13 @@ def run_experiment(
         proc.start()
 
     completed = True
+    stall_report = None
     if run_cycles is not None:
         sim.run_until(run_cycles)
     else:
         chunk = 1000
+        last_signature = None
+        last_progress = sim.now
         while True:
             sim.run_until(sim.now + chunk)
             if all(p.done for p in processors) and metrics.in_flight == 0:
@@ -189,6 +288,22 @@ def run_experiment(
             if sim.now >= max_cycles:
                 completed = False
                 break
+            if watchdog_cycles:
+                # Liveness: "progress" is any packet movement anywhere --
+                # flits on wires catch in-network crawl, deliveries and
+                # abandonments catch end-point progress.
+                signature = (
+                    metrics.delivered,
+                    metrics.abandoned,
+                    sum(link.flits_carried for link in net.links),
+                )
+                if signature != last_signature:
+                    last_signature = signature
+                    last_progress = sim.now
+                elif sim.now - last_progress >= watchdog_cycles:
+                    completed = False
+                    stall_report = describe_stall(nics, processors, metrics)
+                    break
     if tracker is not None:
         tracker.stop()
 
@@ -203,9 +318,13 @@ def run_experiment(
         order_violations=metrics.order_violations,
         mean_network_latency=metrics.network_latency.mean,
         mean_total_latency=metrics.total_latency.mean,
+        abandoned=metrics.abandoned,
+        stall_report=stall_report,
         drivers=drivers,
         processors=processors,
         nics=nics,
+        network_obj=net,
         congestion=tracker,
         metrics=metrics,
+        fault_injector=injector,
     )

@@ -1,0 +1,10 @@
+"""Structured fault injection: declarative plans executed on the sim kernel.
+
+See :mod:`repro.faults.plan` for the schema and shorthand grammar and
+:mod:`repro.faults.injector` for execution semantics.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultPlan"]

@@ -1,0 +1,128 @@
+"""Execute a :class:`~repro.faults.plan.FaultPlan` against a built network.
+
+The injector is a passive peer of the experiment: it schedules one kernel
+event per fault action and keeps a timeline of everything it actually did
+(which links matched a pattern, when bursts started and stopped), so a
+report can correlate delivery behaviour with the fault regime.
+
+Link patterns are ``fnmatch`` globs over :attr:`Link.name`.  They may match
+NIC attachment links (``*inj*`` / ``*ej*`` in every builder's scheme) --
+failing one partitions that node outright, which is a legitimate scenario --
+but a pattern that matches *nothing* is rejected at start, because a typo'd
+plan that silently injects no faults is worse than an error.
+"""
+
+from __future__ import annotations
+
+import random
+from fnmatch import fnmatch
+from typing import List, Optional, Sequence, Tuple
+
+from ..links import Link
+from ..networks import Network
+from ..sim import Simulator
+from .plan import FaultEvent, FaultPlan
+
+
+class FaultInjector:
+    """Drives a fault plan off the simulation kernel.
+
+    ``processors`` is only needed for ``node_pause`` events (anything with
+    ``pause()``/``resume()``); ``rng`` feeds loss-burst drop decisions and
+    defaults to a private deterministic stream so adding faults never
+    perturbs the experiment's other random streams.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        plan: FaultPlan,
+        processors: Optional[Sequence] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        self.processors = list(processors) if processors is not None else []
+        self.rng = rng or random.Random(0xFA01)
+        #: (cycle, description) pairs, appended as actions execute.
+        self.timeline: List[Tuple[int, str]] = []
+        self._started = False
+
+    # -------------------------------------------------------------- set-up
+    def _match_links(self, pattern: Optional[str]) -> List[Link]:
+        pattern = pattern or "*"
+        matched = [
+            link for link in self.network.links if fnmatch(link.name, pattern)
+        ]
+        if not matched:
+            names = ", ".join(sorted(link.name for link in self.network.links)[:8])
+            raise ValueError(
+                f"fault pattern {pattern!r} matches no link "
+                f"(first few names: {names}, ...)"
+            )
+        return matched
+
+    def start(self) -> None:
+        """Validate the plan against this network and schedule every action."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self._started = True
+        for event in self.plan:
+            if event.kind == "link_fail":
+                links = self._match_links(event.link)
+                self.sim.at(event.at, self._fail, event, links)
+                if event.until is not None:
+                    self.sim.at(event.until, self._repair, event, links)
+            elif event.kind == "link_repair":
+                links = self._match_links(event.link)
+                self.sim.at(event.at, self._repair, event, links)
+            elif event.kind == "loss_burst":
+                links = self._match_links(event.link)
+                self.sim.at(event.at, self._burst_start, event, links)
+                self.sim.at(event.until, self._burst_stop, event, links)
+            elif event.kind == "node_pause":
+                if not 0 <= event.node < len(self.processors):
+                    raise ValueError(
+                        f"node_pause: node {event.node} out of range "
+                        f"(have {len(self.processors)} processors)"
+                    )
+                self.sim.at(event.at, self._pause, event)
+                self.sim.at(event.until, self._resume, event)
+
+    # ------------------------------------------------------------- actions
+    def _note(self, text: str) -> None:
+        self.timeline.append((self.sim.now, text))
+
+    def _fail(self, event: FaultEvent, links: List[Link]) -> None:
+        for link in links:
+            link.fail()
+        self._note(f"failed {len(links)} link(s) matching '{event.link}'")
+
+    def _repair(self, event: FaultEvent, links: List[Link]) -> None:
+        for link in links:
+            link.repair()
+        self._note(f"repaired {len(links)} link(s) matching '{event.link}'")
+
+    def _burst_start(self, event: FaultEvent, links: List[Link]) -> None:
+        data = event.net in ("any", "data")
+        acks = event.net in ("any", "ack")
+        for link in links:
+            link.set_fault_drop(event.prob, rng=self.rng, data=data, acks=acks)
+        self._note(
+            f"loss burst {event.prob:.0%} ({event.net}) on {len(links)} link(s)"
+        )
+
+    def _burst_stop(self, event: FaultEvent, links: List[Link]) -> None:
+        for link in links:
+            link.clear_fault_drop()
+        self._note(f"loss burst ended on {len(links)} link(s)")
+
+    def _pause(self, event: FaultEvent) -> None:
+        self.processors[event.node].pause()
+        self._note(f"paused node {event.node}")
+
+    def _resume(self, event: FaultEvent) -> None:
+        self.processors[event.node].resume()
+        self._note(f"resumed node {event.node}")

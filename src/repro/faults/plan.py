@@ -1,0 +1,246 @@
+"""Declarative fault plans: what breaks, when, and when it heals.
+
+A :class:`FaultPlan` is an ordered set of timed :class:`FaultEvent` records
+describing structured network faults -- the scenarios Section 6.2 of the
+paper hand-waves ("simple hardware to mask an exceptional condition") posed
+as first-class, reproducible experiments:
+
+* ``link_fail`` / ``link_repair`` -- take links matching a name pattern out
+  of service and bring them back (``until`` on a ``link_fail`` is shorthand
+  for the matching repair).
+* ``loss_burst``  -- a windowed per-packet drop probability on matching
+  links; ``net`` restricts it to data packets or to acks only (the
+  ack-network-only loss scenario).
+* ``node_pause``  -- a processor stops polling for a window (a crashed or
+  wedged node that later reboots), exercising end-point backpressure and
+  retransmission against an unresponsive peer.
+
+Plans are plain data: build them in Python, load them from a JSON file
+(``FaultPlan.from_json_file``), or parse the CLI's compact shorthand
+(``FaultPlan.from_shorthand``)::
+
+    fail@5000-20000:link=ft:up1.0        # fail at 5000, repair at 20000
+    burst@5000-20000:prob=0.1            # 10% loss on every fabric link
+    burst@5000-20000:prob=0.3,net=ack    # ack-network-only loss
+    pause@1000-4000:node=3               # node 3 stops polling
+
+The :class:`~repro.faults.injector.FaultInjector` executes a plan against a
+built network.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+FAULT_KINDS = ("link_fail", "link_repair", "loss_burst", "node_pause")
+
+#: ``net`` selectors for loss bursts: which packet classes a burst may claim.
+NET_SELECTORS = ("any", "data", "ack")
+
+_SHORTHAND_KINDS = {
+    "fail": "link_fail",
+    "repair": "link_repair",
+    "burst": "loss_burst",
+    "pause": "node_pause",
+}
+
+_NET_ALIASES = {
+    "any": "any",
+    "data": "data",
+    "request": "data",
+    "ack": "ack",
+    "acks": "ack",
+    "reply": "ack",
+}
+
+
+@dataclass
+class FaultEvent:
+    """One timed fault action.
+
+    ``at`` is the cycle the fault begins; ``until`` (where meaningful) is the
+    cycle it ends -- the repair for a ``link_fail``, the stop of a
+    ``loss_burst``, the resume of a ``node_pause``.  ``link`` is an
+    ``fnmatch`` pattern over link names (see each topology builder for its
+    naming scheme); ``node`` is a node id; ``prob`` the burst drop
+    probability; ``net`` which packet classes a burst claims.
+    """
+
+    kind: str
+    at: int
+    until: Optional[int] = None
+    link: Optional[str] = None
+    node: Optional[int] = None
+    prob: float = 0.0
+    net: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError("fault events cannot start before cycle 0")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError(
+                f"{self.kind}: 'until' ({self.until}) must be after 'at' ({self.at})"
+            )
+        if self.kind in ("link_fail", "link_repair"):
+            if not self.link:
+                raise ValueError(f"{self.kind} needs a 'link' name pattern")
+            if self.kind == "link_repair" and self.until is not None:
+                raise ValueError("link_repair is instantaneous; drop 'until'")
+        elif self.kind == "loss_burst":
+            if not 0.0 < self.prob <= 1.0:
+                raise ValueError("loss_burst needs 'prob' in (0, 1]")
+            if self.until is None:
+                raise ValueError("loss_burst needs an 'until' stop cycle")
+            if self.net not in NET_SELECTORS:
+                raise ValueError(
+                    f"loss_burst net must be one of {NET_SELECTORS}, "
+                    f"got {self.net!r}"
+                )
+        elif self.kind == "node_pause":
+            if self.node is None:
+                raise ValueError("node_pause needs a 'node' id")
+            if self.until is None:
+                raise ValueError("node_pause needs an 'until' resume cycle")
+
+    def describe(self) -> str:
+        """Human-readable one-liner for timelines and reports."""
+        if self.kind == "link_fail":
+            tail = f", repair @{self.until}" if self.until is not None else ""
+            return f"fail links '{self.link}' @{self.at}{tail}"
+        if self.kind == "link_repair":
+            return f"repair links '{self.link}' @{self.at}"
+        if self.kind == "loss_burst":
+            scope = f" on '{self.link}'" if self.link else ""
+            what = {"any": "packets", "data": "data packets", "ack": "acks"}[self.net]
+            return (
+                f"drop {self.prob:.0%} of {what}{scope} "
+                f"@{self.at}-{self.until}"
+            )
+        return f"pause node {self.node} @{self.at}-{self.until}"
+
+    # ------------------------------------------------------------- parsing
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        allowed = {"kind", "at", "until", "link", "node", "prob", "net"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown fault event fields: {sorted(unknown)}")
+        if "kind" not in data or "at" not in data:
+            raise ValueError("a fault event needs at least 'kind' and 'at'")
+        kwargs = dict(data)
+        if "net" in kwargs:
+            kwargs["net"] = _NET_ALIASES.get(str(kwargs["net"]), kwargs["net"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_shorthand(cls, spec: str) -> "FaultEvent":
+        """Parse ``kind@start[-end][:key=val,...]`` (see module docstring)."""
+        head, _, opts = spec.partition(":")
+        name, at_sep, window = head.partition("@")
+        name = name.strip()
+        if name not in _SHORTHAND_KINDS:
+            raise ValueError(
+                f"unknown fault shorthand {name!r} in {spec!r}; "
+                f"choose from {sorted(_SHORTHAND_KINDS)}"
+            )
+        if not at_sep or not window:
+            raise ValueError(f"missing '@cycle' in fault spec {spec!r}")
+        start_text, _, end_text = window.partition("-")
+        try:
+            at = int(start_text)
+            until = int(end_text) if end_text else None
+        except ValueError:
+            raise ValueError(f"bad cycle window in fault spec {spec!r}") from None
+        kwargs: Dict = {"kind": _SHORTHAND_KINDS[name], "at": at, "until": until}
+        if opts:
+            for item in opts.split(","):
+                key, eq, value = item.partition("=")
+                key = key.strip()
+                if not eq:
+                    raise ValueError(f"expected key=value, got {item!r} in {spec!r}")
+                if key == "link":
+                    kwargs["link"] = value.strip()
+                elif key == "node":
+                    kwargs["node"] = int(value)
+                elif key == "prob":
+                    kwargs["prob"] = float(value)
+                elif key == "net":
+                    net = _NET_ALIASES.get(value.strip().lower())
+                    if net is None:
+                        raise ValueError(f"unknown net selector {value!r} in {spec!r}")
+                    kwargs["net"] = net
+                else:
+                    raise ValueError(f"unknown fault option {key!r} in {spec!r}")
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault events plus derived views of it."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = list(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    # ------------------------------------------------------------ loading
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        if not isinstance(data, dict) or "events" not in data:
+            raise ValueError("a fault plan is an object with an 'events' list")
+        return cls([FaultEvent.from_dict(entry) for entry in data["events"]])
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def from_shorthand(cls, specs: Sequence[str]) -> "FaultPlan":
+        return cls([FaultEvent.from_shorthand(spec) for spec in specs])
+
+    # ------------------------------------------------------------- queries
+    @property
+    def needs_retransmission(self) -> bool:
+        """Whether the plan can lose packets outright (bursts do; pure
+        fail/repair and pauses only delay them)."""
+        return any(event.kind == "loss_burst" for event in self.events)
+
+    def boundaries(self) -> List[int]:
+        """Sorted distinct cycles at which the fault regime changes --
+        the phase cut points for per-phase degradation reporting."""
+        cuts = set()
+        for event in self.events:
+            cuts.add(event.at)
+            if event.until is not None:
+                cuts.add(event.until)
+        return sorted(cuts)
+
+    def repairs(self) -> List[FaultEvent]:
+        """Events that *end* an outage (recovery reference points): explicit
+        repairs plus the implicit ones carried by a windowed link_fail."""
+        out = []
+        for event in self.events:
+            if event.kind == "link_repair":
+                out.append(event)
+            elif event.kind == "link_fail" and event.until is not None:
+                out.append(
+                    FaultEvent(kind="link_repair", at=event.until, link=event.link)
+                )
+        return sorted(out, key=lambda e: e.at)

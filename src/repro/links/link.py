@@ -74,6 +74,10 @@ class Link:
         "_alloc_waiters",
         "drop_prob",
         "_drop_rng",
+        "fault_drop_prob",
+        "_fault_drop_rng",
+        "_fault_drop_data",
+        "_fault_drop_acks",
         "failed",
         "_last_start",
         "flits_carried",
@@ -123,6 +127,10 @@ class Link:
         self._alloc_waiters: List[Callable[[], None]] = []
         self.drop_prob = drop_prob
         self._drop_rng = drop_rng
+        self.fault_drop_prob = 0.0
+        self._fault_drop_rng = None
+        self._fault_drop_data = True
+        self._fault_drop_acks = True
         self.failed = False
         self._last_start = -(10 ** 9)
         # statistics
@@ -159,6 +167,58 @@ class Link:
         """
         self.failed = True
 
+    def repair(self) -> None:
+        """Return a failed link to service (the other half of a fault event).
+
+        Upstream feeders that found every VC refused while the link was down
+        registered alloc waiters; firing them here lets blocked routers and
+        NICs re-try immediately instead of waiting for an unrelated VC
+        release.  Safe to call on a healthy link (no-op beyond the kick).
+        """
+        self.failed = False
+        if self._alloc_waiters:
+            waiters = self._alloc_waiters
+            self._alloc_waiters = []
+            for fn in waiters:
+                fn()
+        self._kick()
+
+    def set_fault_drop(
+        self, prob: float, rng=None, data: bool = True, acks: bool = True
+    ) -> None:
+        """Start a transient loss episode on this link.
+
+        Unlike the constructor's static ``drop_prob`` (which models a
+        permanently unreliable fabric and only ever discards data packets),
+        a fault-injected burst can also claim acks -- the ack-network-only
+        loss scenario that exercises the duplicate-elimination path.
+        """
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        self.fault_drop_prob = prob
+        if rng is not None:
+            self._fault_drop_rng = rng
+        elif self._fault_drop_rng is None:
+            self._fault_drop_rng = self._drop_rng
+        if prob > 0.0 and self._fault_drop_rng is None:
+            raise ValueError("a loss burst needs a random stream")
+        self._fault_drop_data = data
+        self._fault_drop_acks = acks
+
+    def clear_fault_drop(self) -> None:
+        """End a transient loss episode (packets in flight are unaffected)."""
+        self.fault_drop_prob = 0.0
+
+    def _decide_drop(self, packet: Packet) -> bool:
+        if self.drop_prob > 0.0 and packet.is_data:
+            if self._drop_rng.random() < self.drop_prob:
+                return True
+        if self.fault_drop_prob > 0.0:
+            applies = self._fault_drop_data if packet.is_data else self._fault_drop_acks
+            if applies and self._fault_drop_rng.random() < self.fault_drop_prob:
+                return True
+        return False
+
     def allocate_vc(
         self, packet: Packet, feeder: FlitFeeder, candidates: Sequence[int]
     ) -> Optional[int]:
@@ -174,10 +234,7 @@ class Link:
             if self._owners[vc] is None:
                 self._owners[vc] = packet
                 self._feeders[vc] = feeder
-                if self.drop_prob > 0.0 and packet.is_data:
-                    self._dropping[vc] = self._drop_rng.random() < self.drop_prob
-                else:
-                    self._dropping[vc] = False
+                self._dropping[vc] = self._decide_drop(packet)
                 return vc
         return None
 

@@ -4,8 +4,13 @@ from .collector import LatencyStats, MetricsCollector
 from .congestion import CongestionTracker
 from .trace import PacketTrace, PacketTracer
 from .report import (
+    DegradationReport,
     LatencyHistogram,
     LinkUtilization,
+    PhaseStats,
+    RecoveryStats,
+    degradation_report,
+    format_degradation,
     link_utilization_report,
     results_to_csv,
     utilization_summary,
@@ -13,12 +18,17 @@ from .report import (
 
 __all__ = [
     "CongestionTracker",
+    "DegradationReport",
     "LatencyHistogram",
     "LatencyStats",
     "LinkUtilization",
     "MetricsCollector",
     "PacketTrace",
     "PacketTracer",
+    "PhaseStats",
+    "RecoveryStats",
+    "degradation_report",
+    "format_degradation",
     "link_utilization_report",
     "results_to_csv",
     "utilization_summary",

@@ -35,23 +35,33 @@ class LatencyStats:
 class MetricsCollector:
     """Hooks into NICs and processors to observe an experiment."""
 
-    def __init__(self, num_nodes: int, check_order: bool = False):
+    def __init__(
+        self,
+        num_nodes: int,
+        check_order: bool = False,
+        record_delivery_cycles: bool = False,
+    ):
         self.num_nodes = num_nodes
         self.check_order = check_order
         self.sent = 0
         self.injected = 0
         self.delivered = 0
+        self.abandoned = 0
         self.network_latency = LatencyStats()   # injection -> accept
         self.total_latency = LatencyStats()     # creation -> accept
         self.pending_per_receiver: List[int] = [0] * num_nodes
         self.order_violations = 0
         self._last_pair_seq: Dict[Tuple[int, int], int] = {}
+        #: Accept cycles in acceptance order, kept only on request (fault
+        #: runs need them to cut per-phase throughput and time-to-recover).
+        self.delivery_cycles: List[int] = [] if record_delivery_cycles else None
 
     # ------------------------------------------------------------- wiring
     def attach(self, nics, processors) -> None:
         for nic in nics:
             nic.on_accept = self.note_accept
             nic.on_inject = self.note_inject
+            nic.on_abandon = self.note_abandon
         for proc in processors:
             proc.on_send = self.note_send
 
@@ -67,8 +77,22 @@ class MetricsCollector:
         self.injected += 1
         self.pending_per_receiver[packet.dst] += 1
 
+    def note_abandon(self, packet: Packet) -> None:
+        """A NIC gave up on ``packet`` (graceful degradation): the packet
+        will never be delivered, so stop counting it as in flight."""
+        if packet.delivered_cycle >= 0:
+            # The sender released a packet whose original actually arrived
+            # (only the acks were lost, e.g. a dead reply path): nothing is
+            # owed to the receiver, so it is not a delivery debt write-off.
+            return
+        self.abandoned += 1
+        if packet.injected_cycle >= 0:
+            self.pending_per_receiver[packet.dst] -= 1
+
     def note_accept(self, packet: Packet) -> None:
         self.delivered += 1
+        if self.delivery_cycles is not None:
+            self.delivery_cycles.append(packet.delivered_cycle)
         if packet.injected_cycle >= 0:
             self.pending_per_receiver[packet.dst] -= 1
         if packet.injected_cycle >= 0:
@@ -86,4 +110,7 @@ class MetricsCollector:
     # ------------------------------------------------------------ queries
     @property
     def in_flight(self) -> int:
-        return self.sent - self.delivered
+        """Packets still owed to a receiver.  Abandoned packets are a debt
+        the network has explicitly written off, so they no longer count --
+        this is what lets a degraded run terminate instead of spinning."""
+        return self.sent - self.delivered - self.abandoned

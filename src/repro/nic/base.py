@@ -65,6 +65,10 @@ class BaseNIC(FlitFeeder, FlitSink):
         # hooks for experiment-level accounting
         self.on_accept: Optional[Callable[[Packet], None]] = None
         self.on_inject: Optional[Callable[[Packet], None]] = None
+        #: Fired when a NIC gives up on delivering a packet (retransmitting
+        #: variants with ``on_exhaust="abandon"``); never fires on reliable
+        #: NICs, but lives here so collectors can hook every NIC uniformly.
+        self.on_abandon: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------- wiring
     def attach_injection(self, link: Link) -> None:

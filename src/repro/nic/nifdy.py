@@ -160,7 +160,13 @@ class NifdyNIC(BaseNIC):
             return
         self._maybe_piggyback(packet)
         if not self._start_injection(packet):
-            raise RuntimeError("injection port busy despite no data stream")
+            # The port-free check passed but allocation was refused: the
+            # injection link failed in between (fault injection).  The
+            # packet's protocol state is already committed, so requeue it
+            # at the head and retry when the link frees -- or is repaired.
+            self._control_queue.appendleft(packet)
+            self._retry_when_port_frees("data", REQUEST_NET, self._pump_data)
+            return
         self._data_streaming = packet
         if packet.kind is PacketKind.SCALAR:
             self.scalar_sent += 1

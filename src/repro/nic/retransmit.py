@@ -19,20 +19,38 @@ incremental credit count.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional, Tuple
 
 from ..packets import AckInfo, Packet, PacketKind
 from ..sim import Event, Simulator
 from .nifdy import NifdyNIC, NifdyParams
 
+#: Give-up policies when a packet exhausts ``max_retries``.
+EXHAUST_POLICIES = ("raise", "abandon")
+
+#: Cap on the exponential backoff shift (2**6 = 64x the base timeout).
+_BACKOFF_CAP = 6
+
 
 class RetransmittingNifdyNIC(NifdyNIC):
     """NIFDY with timers, retransmission, and duplicate elimination.
 
-    ``retx_timeout`` should comfortably exceed the loaded round-trip time;
-    the paper notes this timeout has the same sensitivity as Compressionless
-    Routing's abort timeout, and it is the one parameter worth sweeping on a
-    lossy network (see the ablation bench).
+    ``retx_timeout`` seeds the retransmission timer.  By default the timer
+    then *adapts*: acked (never-retransmitted) packets feed a Jacobson-style
+    estimator (SRTT gain 1/8, RTTVAR gain 1/4, RTO = SRTT + 4*RTTVAR), so
+    the timer tracks the loaded round-trip time instead of requiring the
+    per-network sweep the paper likens to Compressionless Routing's abort
+    timeout.  Retries back off exponentially with deterministic jitter
+    (reproducible runs; no retransmission storms in lock-step).
+    ``adaptive_timeout=False`` restores the fixed timer for ablations.
+
+    When ``max_retries`` is exhausted the NIC either raises (the seed
+    behaviour, ``on_exhaust="raise"``) or **degrades gracefully**
+    (``on_exhaust="abandon"``): the packet -- and, for bulk, its whole
+    dialog -- is dropped from the protocol state, ``packets_abandoned`` is
+    incremented, and the ``on_abandon`` hook fires so the traffic layer
+    learns that the software-visible reliability guarantee was released.
     """
 
     def __init__(
@@ -42,6 +60,10 @@ class RetransmittingNifdyNIC(NifdyNIC):
         params: Optional[NifdyParams] = None,
         retx_timeout: int = 1000,
         max_retries: int = 50,
+        on_exhaust: str = "raise",
+        adaptive_timeout: bool = True,
+        min_timeout: Optional[int] = None,
+        max_timeout: Optional[int] = None,
     ):
         super().__init__(sim, node_id, params)
         if self.params.scalar_ack_on_insert:
@@ -51,10 +73,27 @@ class RetransmittingNifdyNIC(NifdyNIC):
             raise ValueError(
                 "scalar_ack_on_insert is incompatible with retransmission"
             )
+        if on_exhaust not in EXHAUST_POLICIES:
+            raise ValueError(
+                f"on_exhaust must be one of {EXHAUST_POLICIES}, got {on_exhaust!r}"
+            )
         self.retx_timeout = retx_timeout
         self.max_retries = max_retries
+        self.on_exhaust = on_exhaust
+        self.adaptive_timeout = adaptive_timeout
+        self.min_timeout = min_timeout if min_timeout is not None else max(
+            32, retx_timeout // 8
+        )
+        self.max_timeout = max_timeout if max_timeout is not None else (
+            retx_timeout * 64
+        )
+        # RTT estimator state (Jacobson/Karels) -----------------------------
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = retx_timeout
         # sender side -------------------------------------------------------
-        self._hold: Dict[Tuple, Tuple[Packet, Event, int]] = {}
+        #: key -> (packet, timer event, tries so far, cycle last armed)
+        self._hold: Dict[Tuple, Tuple[Packet, Event, int, int]] = {}
         self._next_bit: Dict[int, int] = {}       # per-destination scalar bit
         # receiver side -----------------------------------------------------
         self._last_acked_bit: Dict[int, int] = {}
@@ -62,6 +101,13 @@ class RetransmittingNifdyNIC(NifdyNIC):
         # statistics
         self.retransmissions = 0
         self.duplicates_dropped = 0
+        self.packets_abandoned = 0
+        self.rtt_samples = 0
+
+    @property
+    def current_timeout(self) -> int:
+        """The base (pre-backoff) retransmission timeout in use right now."""
+        return self._rto if self.adaptive_timeout else self.retx_timeout
 
     # ------------------------------------------------------------- sender
     def _commit_scalar(self, dst: int) -> Packet:
@@ -74,37 +120,116 @@ class RetransmittingNifdyNIC(NifdyNIC):
 
     def _commit_bulk(self, dst: int, bulk) -> Packet:
         packet = super()._commit_bulk(dst, bulk)
-        self._arm(("b", packet.dialog, packet.seq), packet)
+        self._arm(("b", packet.dst, packet.dialog, packet.seq), packet)
         return packet
 
     def _queue_control_exit(self, bulk) -> Packet:
         exit_packet = super()._queue_control_exit(bulk)
-        self._arm(("b", exit_packet.dialog, exit_packet.seq), exit_packet)
+        self._arm(
+            ("b", exit_packet.dst, exit_packet.dialog, exit_packet.seq),
+            exit_packet,
+        )
         return exit_packet
 
+    # -------------------------------------------------- timers & estimator
+    def _retx_delay(self, key: Tuple, tries: int) -> int:
+        """Timeout for attempt ``tries``: adaptive (or fixed) base, doubled
+        per retry, plus a small deterministic jitter so a burst of holders
+        armed in the same cycle do not all fire in the same cycle."""
+        base = self._rto if self.adaptive_timeout else self.retx_timeout
+        delay = base << min(tries, _BACKOFF_CAP)
+        span = max(1, base // 8)
+        jitter = zlib.crc32(f"{self.node_id}|{key}|{tries}".encode()) % span
+        return min(self.max_timeout, delay + jitter)
+
+    def _note_rtt(self, sample: int) -> None:
+        """Fold one clean (never-retransmitted) RTT sample into the RTO."""
+        self.rtt_samples += 1
+        if self._srtt is None:
+            self._srtt = float(sample)
+            self._rttvar = sample / 2.0
+        else:
+            err = sample - self._srtt
+            self._srtt += err / 8.0
+            self._rttvar += (abs(err) - self._rttvar) / 4.0
+        self._rto = int(
+            min(self.max_timeout, max(self.min_timeout, self._srtt + 4.0 * self._rttvar))
+        )
+
     def _arm(self, key: Tuple, packet: Packet, tries: int = 0) -> None:
-        event = self.sim.schedule(self.retx_timeout, self._timeout, key)
-        self._hold[key] = (packet, event, tries)
+        event = self.sim.schedule(self._retx_delay(key, tries), self._timeout, key)
+        self._hold[key] = (packet, event, tries, self.sim.now)
 
     def _disarm(self, key: Tuple) -> None:
         held = self._hold.pop(key, None)
         if held is not None:
             held[1].cancel()
+            if self.adaptive_timeout and held[2] == 0:
+                # Karn's rule: only never-retransmitted packets yield an
+                # unambiguous (send, ack) pairing worth sampling.
+                self._note_rtt(self.sim.now - held[3])
 
     def _timeout(self, key: Tuple) -> None:
         held = self._hold.get(key)
         if held is None:
             return
-        packet, _, tries = held
+        packet, _, tries, _ = held
         if tries >= self.max_retries:
-            raise RuntimeError(
-                f"node {self.node_id}: gave up retransmitting {packet} "
-                f"after {tries} tries"
-            )
+            if self.on_exhaust == "raise":
+                raise RuntimeError(
+                    f"node {self.node_id}: gave up retransmitting {packet} "
+                    f"after {tries} tries"
+                )
+            self._abandon(key)
+            return
         packet.is_retransmission = True
         self.retransmissions += 1
         self._arm(key, packet, tries + 1)
         self._control_queue.append(packet)
+        self._pump_data()
+
+    # ------------------------------------------------ graceful degradation
+    def _abandon(self, key: Tuple) -> None:
+        """Release a packet the network cannot deliver (partition, dead
+        peer): free its protocol state so unrelated traffic keeps flowing,
+        and record the loss instead of crashing the simulation."""
+        held = self._hold.pop(key, None)
+        if held is None:
+            return
+        packet = held[0]
+        held[1].cancel()
+        if key[0] == "s":
+            # Free the OPT entry so later packets to this destination may
+            # try again (they get fresh timers of their own).
+            if packet.dst in self.opt:
+                self.opt.remove(packet.dst)
+            bulk = self._bulk_out
+            if (
+                bulk is not None
+                and bulk.dst == packet.dst
+                and not bulk.granted
+                and self.pool.count_for(packet.dst) == 0
+            ):
+                self._bulk_out = None  # the dialog request died with it
+        else:
+            # A bulk packet that cannot be delivered strands its dialog's
+            # in-order window: give up on the whole dialog at once.
+            dst, dialog = key[1], key[2]
+            for other in [
+                k for k in self._hold
+                if k[0] == "b" and k[1] == dst and k[2] == dialog
+            ]:
+                self._abandon(other)
+            bulk = self._bulk_out
+            if bulk is not None and bulk.dst == dst and bulk.dialog == dialog:
+                self._bulk_out = None
+        try:
+            self._control_queue.remove(packet)
+        except ValueError:
+            pass
+        self.packets_abandoned += 1
+        if self.on_abandon is not None:
+            self.on_abandon(packet)
         self._pump_data()
 
     def _process_ack(self, ack: Packet) -> None:
@@ -121,16 +246,25 @@ class RetransmittingNifdyNIC(NifdyNIC):
             self._disarm(("s", peer))
         else:
             bulk = self._bulk_out
-            if bulk is not None and bulk.dst == peer and bulk.dialog == info.dialog:
+            current = (
+                bulk is not None and bulk.dst == peer and bulk.dialog == info.dialog
+            )
+            if current:
                 if info.acked_seq is not None and info.acked_seq >= 0:
                     # Cumulative credit recovery: everything through
                     # acked_seq is delivered, so the window refills to
                     # W - in_flight regardless of which acks were lost.
                     for seq in range(info.acked_seq + 1):
-                        self._disarm(("b", info.dialog, seq))
+                        self._disarm(("b", peer, info.dialog, seq))
                     in_flight = bulk.next_seq - (info.acked_seq + 1)
                     target = self.params.window - in_flight
                     info.credits = max(0, target - bulk.credits)
+            elif info.dialog_terminated and info.acked_seq is not None:
+                # Late terminate (re-)ack for a dialog this NIC already left
+                # behind: stop the stale packet timers it covers, or they
+                # would retransmit into a dead dialog until exhaustion.
+                for seq in range(info.acked_seq + 1):
+                    self._disarm(("b", peer, info.dialog, seq))
         super()._process_ack(ack)
 
     # ------------------------------------------------------------ receiver
@@ -156,8 +290,10 @@ class RetransmittingNifdyNIC(NifdyNIC):
             self._infifo_bits[src] = bit
         elif packet.kind is PacketKind.BULK:
             dialog = self._rx_dialogs.get(packet.dialog)
-            if dialog is None:
-                # Dialog already torn down; the terminated ack was lost.
+            if dialog is None or dialog.src != packet.src:
+                # Dialog already torn down (and, on a src mismatch, its id
+                # re-granted to a different sender); the terminated ack was
+                # lost.  Re-ack so the stale sender stops its timer.
                 self.duplicates_dropped += 1
                 self._release_ejection(packet, vc, port)
                 self._send_ack(
@@ -175,6 +311,15 @@ class RetransmittingNifdyNIC(NifdyNIC):
                 self.duplicates_dropped += 1
                 self._release_ejection(packet, vc, port)
                 self._emit_bulk_ack(dialog, terminate=False)
+                return
+            if packet.seq >= dialog.next_deliver_seq + 2 * dialog.window:
+                # No live sender can legally be this far ahead of the
+                # window: it is a stale retransmission from an earlier
+                # dialog generation with this same (src, id).  Its original
+                # was delivered and acked; drop the wire garbage silently
+                # (a terminate re-ack here would poison the live dialog).
+                self.duplicates_dropped += 1
+                self._release_ejection(packet, vc, port)
                 return
         super()._on_packet_ejected(packet, vc, port)
 

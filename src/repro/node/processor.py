@@ -90,6 +90,8 @@ class Processor:
         self._in_barrier = False
         self._mid_receive = False
         self._poll_deadline: Optional[int] = None
+        self._paused = False
+        self._held_continuations = []
         self.done = False
         self.packets_sent = 0
         self.packets_received = 0
@@ -99,6 +101,22 @@ class Processor:
 
     def start(self) -> None:
         self.sim.schedule(0, self._step)
+
+    # ------------------------------------------------------- fault support
+    def pause(self) -> None:
+        """Freeze this processor (a crashed/wedged node): no polls, no
+        sends, no receives.  The NIC keeps running -- hardware survives a
+        software hang -- so end-point backpressure builds up naturally."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Un-freeze a paused processor, resuming exactly where it stopped."""
+        if not self._paused:
+            return
+        self._paused = False
+        held, self._held_continuations = self._held_continuations, []
+        for fn, args in held:
+            self.sim.schedule(0, fn, *args)
 
     # ------------------------------------------------------------ main loop
     def _step(self) -> None:
@@ -207,11 +225,19 @@ class Processor:
     def _barrier_release(self) -> None:
         self._in_barrier = False
         if not self._mid_receive:
-            self.sim.schedule(0, self._step)
+            self.sim.schedule(0, self._run_or_hold, self._step, ())
 
     def _busy(self, cycles: int, fn, *args) -> None:
         self.busy_cycles += cycles
-        self.sim.schedule(max(1, cycles), fn, *args)
+        self.sim.schedule(max(1, cycles), self._run_or_hold, fn, args)
+
+    def _run_or_hold(self, fn, args) -> None:
+        """Continuation trampoline: while paused, park pending continuations
+        instead of running them; :meth:`resume` releases them in order."""
+        if self._paused:
+            self._held_continuations.append((fn, args))
+            return
+        fn(*args)
 
 
 class TrafficDriver:
@@ -227,3 +253,10 @@ class TrafficDriver:
 
     def on_packet(self, packet: Packet) -> None:
         """Upcall for every data packet the processor accepted."""
+
+    def on_abandoned(self, packet: Packet) -> None:
+        """Upcall when this node's NIC gave up delivering ``packet`` (retry
+        exhaustion under graceful degradation).  The default is to shrug --
+        the loss is recorded in the experiment metrics -- but workload
+        drivers that track expected replies should override this so they can
+        finish instead of waiting forever."""

@@ -89,5 +89,78 @@ class TestGiveUp:
         sim, net, nics = lossy_setup(1.0, retx_timeout=200)
         nics[0].max_retries = 3
         feed(sim, nics[0], stream(0, 9, 1, {"bulk_threshold": 10 ** 9}))
+        # Exponential backoff: retries at ~200, 600, 1400; give-up ~3000.
         with pytest.raises(RuntimeError, match="gave up"):
-            sim.run_until(200 * 10)
+            sim.run_until(200 * 40)
+
+    def test_abandon_records_instead_of_raising(self):
+        sim, net, nics = lossy_setup(1.0, retx_timeout=200)
+        nics[0].max_retries = 3
+        nics[0].on_exhaust = "abandon"
+        abandoned = []
+        nics[0].on_abandon = abandoned.append
+        feed(sim, nics[0], stream(0, 9, 1, {"bulk_threshold": 10 ** 9}))
+        sim.run_until(200 * 40)
+        assert nics[0].packets_abandoned == 1
+        assert len(abandoned) == 1
+        assert abandoned[0].dst == 9
+        assert len(nics[0].opt) == 0        # OPT entry was released
+        assert nics[0]._hold == {}          # no timer left running
+
+    def test_abandon_frees_traffic_to_other_destinations(self):
+        # Partition node 9 only (its ejection link): traffic to 9 exhausts
+        # and is abandoned, while a later stream to node 5 still completes.
+        sim, net, nics = lossy_setup(0.0, retx_timeout=300)
+        for link in net.links:
+            if link.name == "ft:ej9":
+                link.fail()
+        nics[0].max_retries = 2
+        nics[0].on_exhaust = "abandon"
+        feed(sim, nics[0], stream(0, 9, 2, {"bulk_threshold": 10 ** 9}))
+        feed(sim, nics[0], stream(0, 5, 4, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 4, horizon=1_000_000)
+        assert [p.dst for p in delivered] == [5, 5, 5, 5]
+        assert nics[0].packets_abandoned >= 1
+
+    def test_bulk_abandon_tears_down_whole_dialog(self):
+        sim, net, nics = lossy_setup(1.0, retx_timeout=200)
+        nics[0].max_retries = 2
+        nics[0].on_exhaust = "abandon"
+        feed(sim, nics[0], stream(0, 9, 8, {"bulk_threshold": 4}))
+        sim.run_until(400_000)
+        assert nics[0]._bulk_out is None
+        assert nics[0]._hold == {}
+        assert nics[0].packets_abandoned >= 1
+
+
+class TestAdaptiveTimeout:
+    def test_rtt_samples_shrink_the_timeout(self):
+        # Start with a deliberately huge timer on a reliable network: the
+        # estimator should pull the RTO down toward the measured RTT.
+        sim, net, nics = lossy_setup(0.0, retx_timeout=50_000)
+        feed(sim, nics[0], stream(0, 9, 10, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 10, horizon=2_000_000)
+        assert len(delivered) == 10
+        assert nics[0].rtt_samples > 0
+        assert nics[0].current_timeout < 50_000
+
+    def test_timeout_respects_floor(self):
+        sim, net, nics = lossy_setup(0.0, retx_timeout=800)
+        nics[0].min_timeout = 700
+        feed(sim, nics[0], stream(0, 9, 10, {"bulk_threshold": 10 ** 9}))
+        drain_all(sim, nics, 10, horizon=2_000_000)
+        assert nics[0].current_timeout >= 700
+
+    def test_fixed_timeout_mode_never_adapts(self):
+        sim, net, nics = lossy_setup(0.0, retx_timeout=900)
+        nics[0].adaptive_timeout = False
+        feed(sim, nics[0], stream(0, 9, 10, {"bulk_threshold": 10 ** 9}))
+        drain_all(sim, nics, 10, horizon=2_000_000)
+        assert nics[0].current_timeout == 900
+
+    def test_retransmission_still_recovers_with_adaptation(self):
+        sim, net, nics = lossy_setup(0.2, retx_timeout=800)
+        feed(sim, nics[0], stream(0, 9, 20, {"bulk_threshold": 10 ** 9}))
+        delivered = drain_all(sim, nics, 20, horizon=3_000_000)
+        assert [p.pair_seq for p in delivered] == list(range(20))
+        assert nics[0].retransmissions > 0
