@@ -2,17 +2,25 @@
 
 Every bench regenerates one table or figure of the paper.  Results are
 printed live (bypassing pytest capture) and archived under
-``benchmarks/results/``.  ``REPRO_BENCH_CYCLES`` scales the measurement
-window of the fixed-horizon benches (default 20000 cycles; the paper used
-1,000,000 -- throughput shapes are stable long before that).
+``benchmarks/results/`` twice: the human-readable ``<bench>.txt`` and a
+machine-readable ``<bench>.json`` (whatever the bench passed to
+``report.record``, plus the run knobs).  At session end the per-bench
+JSONs are merged into ``results/BENCH_summary.json`` so CI and trend
+tooling consume one artifact.  ``REPRO_BENCH_CYCLES`` scales the
+measurement window of the fixed-horizon benches (default 20000 cycles;
+the paper used 1,000,000 -- throughput shapes are stable long before
+that).
 """
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+SUMMARY_NAME = "BENCH_summary.json"
 
 #: Measurement window for the throughput figures.
 BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "20000"))
@@ -22,14 +30,16 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
 
 
 class Report:
-    """Prints rows live and archives them to a results file."""
+    """Prints rows live and archives them to text + JSON results files."""
 
     def __init__(self, name: str, capmanager):
         self.name = name
         self.capmanager = capmanager
         RESULTS_DIR.mkdir(exist_ok=True)
         self.path = RESULTS_DIR / f"{name}.txt"
+        self.json_path = RESULTS_DIR / f"{name}.json"
         self._lines = []
+        self.data = {}
 
     def line(self, text: str = "") -> None:
         self._lines.append(text)
@@ -39,8 +49,19 @@ class Report:
         else:  # pragma: no cover - plain pytest without capture manager
             print(text)
 
+    def record(self, key: str, value) -> None:
+        """Store one machine-readable result (any JSON-serialisable value)."""
+        self.data[key] = value
+
     def flush(self) -> None:
         self.path.write_text("\n".join(self._lines) + "\n")
+        doc = {
+            "bench": self.name,
+            "bench_cycles": BENCH_CYCLES,
+            "bench_seed": BENCH_SEED,
+            "data": self.data,
+        }
+        self.json_path.write_text(json.dumps(doc, indent=2, default=str) + "\n")
 
 
 @pytest.fixture
@@ -53,3 +74,26 @@ def report(request):
     rep.line("=" * 78)
     yield rep
     rep.flush()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge every per-bench JSON on disk into one summary artifact.
+
+    Merging from disk (not just this session's benches) keeps the summary
+    whole when benches are run selectively (``pytest benchmarks/test_fig2...``).
+    """
+    if not RESULTS_DIR.is_dir():
+        return
+    benches = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        try:
+            benches[path.stem] = json.loads(path.read_text())
+        except (OSError, ValueError):  # pragma: no cover - corrupt artifact
+            continue
+    if benches:
+        summary = {"bench_count": len(benches), "benches": benches}
+        (RESULTS_DIR / SUMMARY_NAME).write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )

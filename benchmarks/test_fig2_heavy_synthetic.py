@@ -52,6 +52,7 @@ def test_fig2_heavy_synthetic(benchmark, report):
             f"{network:16s}{row['plain']:>10,}{row['buffered']:>10,}"
             f"{row['nifdy-']:>10,}{ratio:>12.2f}x"
         )
+    report.record("delivered", rows)
 
     for network, row in rows.items():
         # NIFDY at least matches the bare NIC and the buffers-only budget

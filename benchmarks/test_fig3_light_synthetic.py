@@ -45,6 +45,7 @@ def test_fig3_light_synthetic(benchmark, report):
             f"{network:16s}{row['plain']:>10,}{row['buffered']:>10,}"
             f"{row['nifdy-']:>10,}{ratio:>12.2f}x"
         )
+    report.record("delivered", rows)
 
     for network, row in rows.items():
         assert row["nifdy-"] >= 0.95 * row["plain"], network

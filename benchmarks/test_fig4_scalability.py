@@ -81,6 +81,16 @@ def test_fig4_scalability(benchmark, report):
             cells.append(f"{norm_o[(size, o)]:>10.2f}")
         report.line(f"{size:>8d}" + "".join(cells))
 
+    report.record("baseline_delivered", {str(s): baseline[s] for s in SIZES})
+    report.record("normalized_by_pool", {
+        f"n{size}/B{b}": round(norm_b[(size, b)], 4)
+        for size in SIZES for b in B_VALUES
+    })
+    report.record("normalized_by_opt", {
+        f"n{size}/O{o}": round(norm_o[(size, o)], 4)
+        for size in SIZES for o in O_VALUES
+    })
+
     # Benefit does not fall off as the machine grows (fixed parameters).
     for b in B_VALUES:
         assert norm_b[(256, b)] >= 0.9 * norm_b[(16, b)], f"B={b}"

@@ -59,6 +59,8 @@ def test_fig6_cshift_throughput(benchmark, report):
         report.line(
             f"{label:26s}{res.cycles:>12,}{res.delivered:>10,}{tput[label]:>14.1f}"
         )
+    report.record("words_per_kcycle", tput)
+    report.record("cycles", {label: res.cycles for label, res in results.items()})
 
     free, barred, flow, inorder = (tput[c[0]] for c in CONFIGS)
     # Congestion control alone beats free-running phases and lands within a

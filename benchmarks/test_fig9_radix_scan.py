@@ -79,6 +79,12 @@ def test_fig9_radix_scan(benchmark, report):
     report.line("")
     report.line(f"coalesce phase (fattree): plain={coalesce['plain']:,} "
                 f"nifdy={coalesce['nifdy']:,} cycles")
+    report.record("scan_cycles", {
+        f"{network}/{mode}/{delay.replace(' ', '-')}": cycles
+        for network, row in rows.items()
+        for (mode, delay), cycles in row.items()
+    })
+    report.record("coalesce_cycles", coalesce)
 
     # The byte-wide fat trees serialise without delays (the sender outruns
     # the receiver); the CM-5's 4-bit time-multiplexed links are slow enough

@@ -5,13 +5,24 @@ Usage (after ``pip install -e .``)::
     python -m repro list
     python -m repro run --network fattree --traffic heavy --nic nifdy
     python -m repro run --network cm5 --traffic cshift --nic plain --nodes 16
+    python -m repro run --network fattree --traffic heavy \
+        --metrics-out run.json --trace-chrome trace.json \
+        --sample-interval 500 --profile
     python -m repro characterize --network mesh2d
     python -m repro advise --network cm5
 
 ``run`` prints the same metrics the benchmark suite reports (packets
-delivered, throughput, latency, ordering); ``characterize`` prints a
-Table-3 row; ``advise`` runs the Section 2.4 parameter advisor on measured
-characteristics.
+delivered, throughput, latency percentiles, ordering); ``characterize``
+prints a Table-3 row; ``advise`` runs the Section 2.4 parameter advisor on
+measured characteristics.
+
+Observability flags on ``run``: ``--metrics-out FILE`` writes the full
+structured metrics JSON (totals, latency histograms, per-NIC counters,
+protocol event counts); ``--trace-chrome FILE`` writes a Chrome-trace /
+Perfetto timeline of packet lifecycles and fault windows;
+``--sample-interval N`` records Figure-5-style time series every N cycles
+(embedded in the metrics JSON); ``--profile`` prints simulator
+self-profiling (events/sec, per-handler wall-clock).
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from .experiments import (
 )
 from .networks import EXTENSION_NETWORK_NAMES, NETWORK_NAMES
 from .nic import NifdyParams
+from .obs import Observability, chrome_trace, metrics_json, write_json
 
 TRAFFIC_CHOICES = ("heavy", "light", "cshift", "em3d", "radix", "hotspot")
 NIC_CHOICES = ("plain", "buffered", "nifdy", "nifdy-")
@@ -96,6 +108,14 @@ def _cmd_run(args) -> int:
         )
     plan = _fault_plan_from_args(args)
     fixed_horizon = args.traffic in ("heavy", "light")
+    observe = None
+    if args.metrics_out or args.trace_chrome or args.sample_interval or args.profile:
+        observe = Observability(
+            events=bool(args.metrics_out),
+            sample_interval=args.sample_interval,
+            trace=bool(args.trace_chrome),
+            profile=args.profile,
+        )
     result = run_experiment(
         args.network,
         _traffic_factory(args.traffic),
@@ -109,7 +129,9 @@ def _cmd_run(args) -> int:
         max_retries=args.max_retries,
         fault_plan=plan,
         watchdog_cycles=args.watchdog,
+        observe=observe,
     )
+    hist = result.metrics.network_latency
     print(f"network          : {result.network}")
     print(f"NIC mode         : {result.nic_mode}")
     print(f"cycles simulated : {result.cycles:,}"
@@ -117,7 +139,8 @@ def _cmd_run(args) -> int:
     print(f"packets sent     : {result.sent:,}")
     print(f"packets delivered: {result.delivered:,}")
     print(f"throughput       : {result.throughput:.1f} packets/kcycle")
-    print(f"mean latency     : {result.mean_network_latency:.0f} cycles "
+    print(f"latency          : mean {hist.mean:.0f}  p50 {hist.p50}  "
+          f"p90 {hist.p90}  p99 {hist.p99}  max {hist.maximum} cycles "
           "(injection -> accept)")
     print(f"order violations : {result.order_violations}")
     if plan is not None or args.drop > 0.0:
@@ -139,7 +162,41 @@ def _cmd_run(args) -> int:
                 print(f"  @{cycle:>9,}  {text}")
     if result.stall_report:
         print(result.stall_report)
+    if observe is not None:
+        _write_observability(args, plan, result, observe)
     return 0 if result.completed or fixed_horizon else 1
+
+
+def _write_observability(args, plan, result, observe) -> None:
+    """Emit the JSON artifacts / self-profile the obs flags asked for."""
+    if args.metrics_out:
+        run_args = {
+            "network": args.network, "traffic": args.traffic, "nic": args.nic,
+            "nodes": args.nodes, "cycles": args.cycles, "seed": args.seed,
+            "drop": args.drop, "faults": [e.describe() for e in plan] if plan else [],
+        }
+        write_json(args.metrics_out, metrics_json(result, run_args=run_args))
+        print(f"metrics JSON     : {args.metrics_out}")
+    if args.trace_chrome:
+        windows = [(e.at, e.until, e.describe()) for e in plan] if plan else []
+        timeline = result.fault_injector.timeline if result.fault_injector else []
+        trace = chrome_trace(
+            observe.tracer,
+            fault_windows=windows,
+            fault_timeline=timeline,
+            run_label=f"{args.network}/{args.traffic}/{args.nic}",
+        )
+        write_json(args.trace_chrome, trace)
+        print(f"chrome trace     : {args.trace_chrome} "
+              f"({len(observe.tracer.traces)} packets; open in ui.perfetto.dev)")
+    if observe.sampler is not None:
+        s = observe.sampler
+        print(f"sampler          : {len(s)} samples @ {s.interval} cycles; "
+              f"peak pool {s.peak_pool()}, peak OPT {s.peak_opt()}, "
+              f"peak in-network {s.peak_in_network()}, "
+              f"mean link busy {s.mean_link_busy():.3f}")
+    if observe.kernel_profile is not None:
+        print(observe.kernel_profile.format())
 
 
 def _cmd_characterize(args) -> int:
@@ -212,6 +269,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--watchdog", type=int, default=200_000,
                      help="liveness watchdog horizon in cycles "
                      "(0 disables; run-to-completion workloads only)")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write structured metrics JSON (totals, latency "
+                     "histograms, per-NIC counters, protocol event counts)")
+    run.add_argument("--trace-chrome", default=None, metavar="FILE",
+                     help="write a Chrome-trace/Perfetto JSON timeline of "
+                     "packet lifecycles and fault windows")
+    run.add_argument("--sample-interval", type=int, default=None, metavar="N",
+                     help="sample per-node/per-link state every N cycles "
+                     "(time series embedded in the metrics JSON)")
+    run.add_argument("--profile", action="store_true",
+                     help="print simulator self-profiling "
+                     "(events/sec, per-handler wall-clock)")
     run.add_argument("--opt", type=int, default=None, help="NIFDY O")
     run.add_argument("--pool", type=int, default=None, help="NIFDY B")
     run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")

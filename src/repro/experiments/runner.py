@@ -34,8 +34,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..faults import FaultInjector, FaultPlan
-from ..metrics import CongestionTracker, MetricsCollector
+from ..metrics import CongestionTracker, MetricsCollector, PacketTracer
 from ..networks import build_network
+from ..obs import EventBus, Observability, StateSampler
 from ..nic import BufferedNIC, NifdyNIC, NifdyParams, PlainNIC, RetransmittingNifdyNIC
 from ..node import CM5_TIMING, Processor, Timing, TrafficDriver
 from ..sim import Barrier, RngFactory, Simulator
@@ -84,12 +85,24 @@ class ExperimentResult:
     congestion: Optional[CongestionTracker] = field(repr=False, default=None)
     metrics: Optional[MetricsCollector] = field(repr=False, default=None)
     fault_injector: Optional[FaultInjector] = field(repr=False, default=None)
+    obs: Optional[Observability] = field(repr=False, default=None)
 
     @property
     def throughput(self) -> float:
         """Packets delivered per 1000 cycles (the Figures 2/3 metric,
         rescaled from the paper's per-1M-cycles window)."""
         return 1000.0 * self.delivered / self.cycles if self.cycles else 0.0
+
+    def latency_percentiles(self) -> Dict[str, int]:
+        """p50/p90/p99/max of both latency histograms (zeros if the
+        collector was discarded)."""
+        out: Dict[str, int] = {}
+        for name in ("network", "total"):
+            hist = getattr(self.metrics, f"{name}_latency", None)
+            for p in ("p50", "p90", "p99"):
+                out[f"{name}_{p}"] = getattr(hist, p, 0)
+            out[f"{name}_max"] = getattr(hist, "maximum", 0)
+        return out
 
 
 def make_nic_factory(
@@ -187,6 +200,7 @@ def run_experiment(
     fault_plan: Optional[FaultPlan] = None,
     watchdog_cycles: int = 200_000,
     network_overrides: Optional[Dict] = None,
+    observe: Optional[Observability] = None,
 ) -> ExperimentResult:
     """Build and run one experiment.
 
@@ -204,6 +218,13 @@ def run_experiment(
     packet movement for that long while work is still owed is declared
     stalled (``result.stall_report`` says what is stuck) rather than
     simulated to ``max_cycles``.  Set to 0 to disable.
+
+    ``observe`` (an :class:`~repro.obs.Observability`) turns on the
+    instrumentation layer: the protocol event bus, periodic state sampling,
+    per-packet lifecycle tracing (for Chrome-trace export), and kernel
+    self-profiling.  The same object comes back as ``result.obs`` with its
+    live handles (``bus``/``sampler``/``tracer``/``kernel_profile``)
+    filled in for the exporters.
     """
     sim = Simulator()
     rngf = RngFactory(seed)
@@ -266,6 +287,23 @@ def run_experiment(
             rng=rngf.stream("faults"),
         )
         injector.start()
+    if observe is not None and observe.enabled:
+        if observe.profile:
+            observe.kernel_profile = sim.enable_profiling()
+        if observe.events:
+            observe.bus = EventBus(keep_events=observe.keep_events)
+            observe.bus.attach(nics, net.links, net.routers, injector)
+        if observe.trace:
+            # Attach AFTER the collector and the abandon rewiring so the
+            # tracer chains (not replaces) the accounting hooks.
+            observe.tracer = PacketTracer(max_packets=observe.trace_max_packets)
+            observe.tracer.attach(nics)
+        if observe.sample_interval:
+            observe.sampler = StateSampler(
+                sim, nics, net.links, collector=metrics,
+                interval=observe.sample_interval,
+            )
+            observe.sampler.start()
     tracker = None
     if track_congestion:
         tracker = CongestionTracker(sim, metrics, congestion_sample_every)
@@ -306,6 +344,8 @@ def run_experiment(
                     break
     if tracker is not None:
         tracker.stop()
+    if observe is not None and observe.sampler is not None:
+        observe.sampler.stop()
 
     return ExperimentResult(
         network=net.name,
@@ -327,4 +367,5 @@ def run_experiment(
         congestion=tracker,
         metrics=metrics,
         fault_injector=injector,
+        obs=observe,
     )

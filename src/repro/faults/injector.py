@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..links import Link
 from ..networks import Network
+from ..obs.events import EventKind
 from ..sim import Simulator
 from .plan import FaultEvent, FaultPlan
 
@@ -49,6 +50,8 @@ class FaultInjector:
         #: (cycle, description) pairs, appended as actions execute.
         self.timeline: List[Tuple[int, str]] = []
         self._started = False
+        #: Protocol event bus; None = un-instrumented (the common case).
+        self.obs = None
 
     # -------------------------------------------------------------- set-up
     def _match_links(self, pattern: Optional[str]) -> List[Link]:
@@ -92,8 +95,10 @@ class FaultInjector:
                 self.sim.at(event.until, self._resume, event)
 
     # ------------------------------------------------------------- actions
-    def _note(self, text: str) -> None:
+    def _note(self, text: str, kind: str = EventKind.FAULT_FIRE) -> None:
         self.timeline.append((self.sim.now, text))
+        if self.obs is not None:
+            self.obs.emit(self.sim.now, kind, -1, info=text)
 
     def _fail(self, event: FaultEvent, links: List[Link]) -> None:
         for link in links:
@@ -103,7 +108,10 @@ class FaultInjector:
     def _repair(self, event: FaultEvent, links: List[Link]) -> None:
         for link in links:
             link.repair()
-        self._note(f"repaired {len(links)} link(s) matching '{event.link}'")
+        self._note(
+            f"repaired {len(links)} link(s) matching '{event.link}'",
+            kind=EventKind.FAULT_REPAIR,
+        )
 
     def _burst_start(self, event: FaultEvent, links: List[Link]) -> None:
         data = event.net in ("any", "data")
@@ -117,7 +125,10 @@ class FaultInjector:
     def _burst_stop(self, event: FaultEvent, links: List[Link]) -> None:
         for link in links:
             link.clear_fault_drop()
-        self._note(f"loss burst ended on {len(links)} link(s)")
+        self._note(
+            f"loss burst ended on {len(links)} link(s)",
+            kind=EventKind.FAULT_REPAIR,
+        )
 
     def _pause(self, event: FaultEvent) -> None:
         self.processors[event.node].pause()
@@ -125,4 +136,4 @@ class FaultInjector:
 
     def _resume(self, event: FaultEvent) -> None:
         self.processors[event.node].resume()
-        self._note(f"resumed node {event.node}")
+        self._note(f"resumed node {event.node}", kind=EventKind.FAULT_REPAIR)

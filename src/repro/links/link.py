@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from ..obs.events import EventKind
 from ..packets import FLIT_BYTES, Packet
 from ..sim import Simulator
 
@@ -84,6 +85,7 @@ class Link:
         "packets_carried",
         "packets_dropped",
         "busy_cycles",
+        "obs",
     )
 
     def __init__(
@@ -138,6 +140,8 @@ class Link:
         self.packets_carried = 0
         self.packets_dropped = 0
         self.busy_cycles = 0
+        #: Protocol event bus; None = un-instrumented (the common case).
+        self.obs = None
 
     def set_sink(self, sink: FlitSink, sink_port: int = 0) -> None:
         """Bind the downstream consumer (used for NIC ejection links, which
@@ -305,6 +309,12 @@ class Link:
             self.packets_carried += 1
             if dropping:
                 self.packets_dropped += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.sim.now, EventKind.LINK_DROP, -1,
+                        uid=packet.uid, src=packet.src, dst=packet.dst,
+                        info=self.name,
+                    )
             if self._alloc_waiters:
                 waiters = self._alloc_waiters
                 self._alloc_waiters = []

@@ -1,11 +1,11 @@
 """Measurement: delivery/latency accounting, congestion tracking, reports."""
 
-from .collector import LatencyStats, MetricsCollector
+from .collector import MetricsCollector
 from .congestion import CongestionTracker
+from .histogram import LatencyHistogram, LatencyStats
 from .trace import PacketTrace, PacketTracer
 from .report import (
     DegradationReport,
-    LatencyHistogram,
     LinkUtilization,
     PhaseStats,
     RecoveryStats,

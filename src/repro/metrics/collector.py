@@ -3,33 +3,17 @@
 The paper's headline metric is "packets delivered within a fixed number of
 cycles" (Section 4.1); the collector counts deliveries at processor-accept
 time (the same point the paper's NICs hand packets to the processor), keeps
-latency statistics, and can verify the in-order delivery guarantee using the
-``pair_seq`` stamps the traffic layer puts on every packet.
+latency histograms (percentiles, not just mean/max), and can verify the
+in-order delivery guarantee using the ``pair_seq`` stamps the traffic layer
+puts on every packet.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..packets import Packet
-
-
-@dataclass
-class LatencyStats:
-    count: int = 0
-    total: int = 0
-    maximum: int = 0
-
-    def note(self, value: int) -> None:
-        self.count += 1
-        self.total += value
-        if value > self.maximum:
-            self.maximum = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+from .histogram import LatencyHistogram, LatencyStats  # noqa: F401  (alias)
 
 
 class MetricsCollector:
@@ -47,8 +31,8 @@ class MetricsCollector:
         self.injected = 0
         self.delivered = 0
         self.abandoned = 0
-        self.network_latency = LatencyStats()   # injection -> accept
-        self.total_latency = LatencyStats()     # creation -> accept
+        self.network_latency = LatencyHistogram()   # injection -> accept
+        self.total_latency = LatencyHistogram()     # creation -> accept
         self.pending_per_receiver: List[int] = [0] * num_nodes
         self.order_violations = 0
         self._last_pair_seq: Dict[Tuple[int, int], int] = {}

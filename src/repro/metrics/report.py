@@ -18,57 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..networks import Network
-
-
-class LatencyHistogram:
-    """Power-of-two-bucket latency histogram with percentile queries."""
-
-    def __init__(self) -> None:
-        self._buckets: Dict[int, int] = {}
-        self.count = 0
-        self.total = 0
-        self.maximum = 0
-
-    @staticmethod
-    def _bucket(value: int) -> int:
-        return max(0, int(value).bit_length() - 1)
-
-    def note(self, value: int) -> None:
-        if value < 0:
-            raise ValueError("latency cannot be negative")
-        bucket = self._bucket(value)
-        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
-        self.count += 1
-        self.total += value
-        if value > self.maximum:
-            self.maximum = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, fraction: float) -> int:
-        """Upper bound of the bucket containing the given percentile."""
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        if self.count == 0:
-            return 0
-        target = fraction * self.count
-        seen = 0
-        for bucket in sorted(self._buckets):
-            seen += self._buckets[bucket]
-            if seen >= target:
-                return (1 << (bucket + 1)) - 1
-        return self.maximum
-
-    def rows(self) -> List[Tuple[str, int]]:
-        """(range label, count) pairs for rendering."""
-        out = []
-        for bucket in sorted(self._buckets):
-            low = 1 << bucket if bucket else 0
-            high = (1 << (bucket + 1)) - 1
-            out.append((f"{low}-{high}", self._buckets[bucket]))
-        return out
+from .histogram import LatencyHistogram  # noqa: F401  (canonical home moved)
 
 
 @dataclass

@@ -24,7 +24,9 @@ class PacketTrace:
     dst: int
     created: int = -1
     injected: int = -1
+    ejected: int = -1
     accepted: int = -1
+    abandoned: int = -1
 
     @property
     def pool_wait(self) -> Optional[int]:
@@ -32,6 +34,13 @@ class PacketTrace:
         if self.created < 0 or self.injected < 0:
             return None
         return self.injected - self.created
+
+    @property
+    def flight_time(self) -> Optional[int]:
+        """Cycles on the wire: injection to destination-NIC ejection."""
+        if self.injected < 0 or self.ejected < 0:
+            return None
+        return self.ejected - self.injected
 
     @property
     def network_time(self) -> Optional[int]:
@@ -44,8 +53,9 @@ class PacketTrace:
 class PacketTracer:
     """Records per-packet lifecycle events from a set of NICs.
 
-    Chains with any already-installed ``on_inject`` / ``on_accept`` hooks
-    (e.g. the metrics collector), so tracing composes with measurement.
+    Chains with any already-installed ``on_inject`` / ``on_eject`` /
+    ``on_accept`` / ``on_abandon`` hooks (e.g. the metrics collector), so
+    tracing composes with measurement.
     """
 
     def __init__(self, max_packets: int = 100_000):
@@ -56,10 +66,17 @@ class PacketTracer:
     def attach(self, nics) -> None:
         for nic in nics:
             prev_inject = nic.on_inject
+            prev_eject = getattr(nic, "on_eject", None)
             prev_accept = nic.on_accept
+            prev_abandon = getattr(nic, "on_abandon", None)
 
             def on_inject(packet, _prev=prev_inject):
                 self.note_inject(packet)
+                if _prev is not None:
+                    _prev(packet)
+
+            def on_eject(packet, _prev=prev_eject):
+                self.note_eject(packet)
                 if _prev is not None:
                     _prev(packet)
 
@@ -68,8 +85,15 @@ class PacketTracer:
                 if _prev is not None:
                     _prev(packet)
 
+            def on_abandon(packet, _prev=prev_abandon):
+                self.note_abandon(packet)
+                if _prev is not None:
+                    _prev(packet)
+
             nic.on_inject = on_inject
+            nic.on_eject = on_eject
             nic.on_accept = on_accept
+            nic.on_abandon = on_abandon
 
     def _trace_for(self, packet: Packet) -> Optional[PacketTrace]:
         trace = self.traces.get(packet.uid)
@@ -87,10 +111,20 @@ class PacketTracer:
         if trace is not None:
             trace.injected = packet.injected_cycle
 
+    def note_eject(self, packet: Packet) -> None:
+        trace = self._trace_for(packet)
+        if trace is not None:
+            trace.ejected = packet.ejected_cycle
+
     def note_accept(self, packet: Packet) -> None:
         trace = self._trace_for(packet)
         if trace is not None:
             trace.accepted = packet.delivered_cycle
+
+    def note_abandon(self, packet: Packet) -> None:
+        trace = self._trace_for(packet)
+        if trace is not None:
+            trace.abandoned = packet.abandoned_cycle
 
     # ------------------------------------------------------------ queries
     def completed(self) -> List[PacketTrace]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..links import FlitFeeder, FlitSink, Link
+from ..obs.events import EventKind
 from ..packets import Packet
 from ..sim import Simulator
 
@@ -65,10 +66,16 @@ class BaseNIC(FlitFeeder, FlitSink):
         # hooks for experiment-level accounting
         self.on_accept: Optional[Callable[[Packet], None]] = None
         self.on_inject: Optional[Callable[[Packet], None]] = None
+        #: Fired when a data packet's tail flit is assembled at this NIC
+        #: (destination-side ejection, before any arrivals-FIFO stall).
+        self.on_eject: Optional[Callable[[Packet], None]] = None
         #: Fired when a NIC gives up on delivering a packet (retransmitting
         #: variants with ``on_exhaust="abandon"``); never fires on reliable
         #: NICs, but lives here so collectors can hook every NIC uniformly.
         self.on_abandon: Optional[Callable[[Packet], None]] = None
+        #: Protocol event bus (:class:`repro.obs.EventBus`); ``None`` keeps
+        #: every emission site a single pointer comparison.
+        self.obs = None
 
     # ------------------------------------------------------------- wiring
     def attach_injection(self, link: Link) -> None:
@@ -123,12 +130,16 @@ class BaseNIC(FlitFeeder, FlitSink):
         self._inj_streams[(lid, vc)] = _InjectionStream(packet)
         packet.injected_cycle = self.sim.now
         if (
-            self.on_inject is not None
-            and packet.is_data
+            packet.is_data
             and not packet.control_only
             and not packet.is_retransmission
         ):
-            self.on_inject(packet)
+            if self.on_inject is not None:
+                self.on_inject(packet)
+            if self.obs is not None:
+                self.obs.emit_packet(
+                    self.sim.now, EventKind.INJECT, self.node_id, packet
+                )
         link.notify_flit_ready(vc)
         return True
 
@@ -190,6 +201,14 @@ class BaseNIC(FlitFeeder, FlitSink):
                 )
             self._ej_flits[key] -= packet.flits
             self.packets_ejected += 1
+            if packet.is_data and not packet.control_only:
+                packet.ejected_cycle = self.sim.now
+                if self.on_eject is not None:
+                    self.on_eject(packet)
+                if self.obs is not None:
+                    self.obs.emit_packet(
+                        self.sim.now, EventKind.EJECT, self.node_id, packet
+                    )
             self._on_packet_ejected(packet, vc, port)
 
     def _release_ejection(self, packet: Packet, vc: int, port: int = 0) -> None:
@@ -221,6 +240,10 @@ class BaseNIC(FlitFeeder, FlitSink):
         packet.delivered_cycle = self.sim.now
         if self.on_accept is not None:
             self.on_accept(packet)
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.ACCEPT, self.node_id, packet
+            )
 
     # ------------------------------------------------------------- queries
     @property

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..obs.events import EventKind
 from ..packets import (
     AckInfo,
     FLIT_BYTES,
@@ -142,6 +143,10 @@ class NifdyNIC(BaseNIC):
             packet.created_cycle = self.sim.now
         if not self.pool.insert(packet):
             return False
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.POOL_ENQUEUE, self.node_id, packet
+            )
         self._pump_data()
         return True
 
@@ -209,13 +214,32 @@ class NifdyNIC(BaseNIC):
                     continue  # window closed
                 # Dialog requested but not yet granted: keep sending scalar
                 # packets (with the request bit) one at a time.
-            if dst in self.opt or self.opt.full:
+            if dst in self.opt:
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.sim.now, EventKind.OPT_HIT, self.node_id, dst=dst
+                    )
+                continue
+            if self.opt.full:
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.sim.now, EventKind.OPT_FULL, self.node_id, dst=dst
+                    )
                 continue
             return self._commit_scalar(dst)
         return None
 
-    def _commit_scalar(self, dst: int) -> Packet:
+    def _pool_take(self, dst: int) -> Packet:
+        """Pop the frontmost pool packet for ``dst`` (instrumented)."""
         packet = self.pool.pop_front(dst)
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.POOL_DEQUEUE, self.node_id, packet
+            )
+        return packet
+
+    def _commit_scalar(self, dst: int) -> Packet:
+        packet = self._pool_take(dst)
         packet.kind = PacketKind.SCALAR
         auto = self.params.auto_bulk_threshold
         wants_bulk = (
@@ -236,7 +260,7 @@ class NifdyNIC(BaseNIC):
         return packet
 
     def _commit_bulk(self, dst: int, bulk: BulkSender) -> Packet:
-        packet = self.pool.pop_front(dst)
+        packet = self._pool_take(dst)
         packet.kind = PacketKind.BULK
         packet.bulk_request = False
         packet.dialog = bulk.dialog
@@ -247,7 +271,7 @@ class NifdyNIC(BaseNIC):
         return packet
 
     def _commit_bypass(self, dst: int) -> Packet:
-        packet = self.pool.pop_front(dst)
+        packet = self._pool_take(dst)
         packet.kind = PacketKind.SCALAR
         packet.bulk_request = False
         return packet
@@ -367,6 +391,12 @@ class NifdyNIC(BaseNIC):
             del self._rx_dialogs[dialog.dialog]
             del self._dialog_by_src[dialog.src]
             self._free_dialogs.append(dialog.dialog)
+            if self.obs is not None:
+                self.obs.emit(
+                    self.sim.now, EventKind.DIALOG_CLOSE, self.node_id,
+                    src=dialog.src, dst=self.node_id,
+                    info=f"dialog={dialog.dialog}",
+                )
         elif dialog.freed_since_ack >= interval:
             self._emit_bulk_ack(dialog, terminate=False)
 
@@ -387,12 +417,28 @@ class NifdyNIC(BaseNIC):
                 info.dialog_granted = dialog_id
                 info.credits = self.params.window
                 self.bulk_grants += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.sim.now, EventKind.DIALOG_GRANT, self.node_id,
+                        src=packet.src, dst=self.node_id,
+                        info=f"dialog={dialog_id}",
+                    )
             else:
                 info.dialog_rejected = True
                 self.bulk_rejects += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        self.sim.now, EventKind.DIALOG_DENY, self.node_id,
+                        src=packet.src, dst=self.node_id,
+                    )
         elif packet.bulk_request:
             info.dialog_rejected = True
             self.bulk_rejects += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    self.sim.now, EventKind.DIALOG_DENY, self.node_id,
+                    src=packet.src, dst=self.node_id,
+                )
         self._send_ack(packet.src, info)
 
     def _emit_bulk_ack(self, dialog: BulkReceiverDialog, terminate: bool) -> None:
@@ -458,6 +504,10 @@ class NifdyNIC(BaseNIC):
     def _process_ack(self, ack: Packet) -> None:
         """Sender-side ack handling, after the NIFDY processing delay."""
         self.acks_received += 1
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.ACK_CONSUMED, self.node_id, ack
+            )
         info = ack.ack
         peer = ack.src
         bulk = self._bulk_out

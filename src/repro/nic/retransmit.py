@@ -22,6 +22,7 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Optional, Tuple
 
+from ..obs.events import EventKind
 from ..packets import AckInfo, Packet, PacketKind
 from ..sim import Event, Simulator
 from .nifdy import NifdyNIC, NifdyParams
@@ -157,8 +158,15 @@ class RetransmittingNifdyNIC(NifdyNIC):
         )
 
     def _arm(self, key: Tuple, packet: Packet, tries: int = 0) -> None:
-        event = self.sim.schedule(self._retx_delay(key, tries), self._timeout, key)
+        delay = self._retx_delay(key, tries)
+        event = self.sim.schedule(delay, self._timeout, key)
         self._hold[key] = (packet, event, tries, self.sim.now)
+        if tries > 0 and self.obs is not None:
+            self.obs.emit(
+                self.sim.now, EventKind.BACKOFF, self.node_id,
+                uid=packet.uid, src=packet.src, dst=packet.dst,
+                info=f"try={tries} delay={delay}",
+            )
 
     def _disarm(self, key: Tuple) -> None:
         held = self._hold.pop(key, None)
@@ -184,9 +192,21 @@ class RetransmittingNifdyNIC(NifdyNIC):
             return
         packet.is_retransmission = True
         self.retransmissions += 1
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.RETRANSMIT, self.node_id, packet
+            )
         self._arm(key, packet, tries + 1)
         self._control_queue.append(packet)
         self._pump_data()
+
+
+    def _note_duplicate(self, packet: Packet) -> None:
+        self.duplicates_dropped += 1
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.DUPLICATE, self.node_id, packet
+            )
 
     # ------------------------------------------------ graceful degradation
     def _abandon(self, key: Tuple) -> None:
@@ -228,8 +248,13 @@ class RetransmittingNifdyNIC(NifdyNIC):
         except ValueError:
             pass
         self.packets_abandoned += 1
+        packet.abandoned_cycle = self.sim.now
         if self.on_abandon is not None:
             self.on_abandon(packet)
+        if self.obs is not None:
+            self.obs.emit_packet(
+                self.sim.now, EventKind.ABANDON, self.node_id, packet
+            )
         self._pump_data()
 
     def _process_ack(self, ack: Packet) -> None:
@@ -241,7 +266,7 @@ class RetransmittingNifdyNIC(NifdyNIC):
                 # Duplicate or stale ack: the packet it covers has already
                 # been acked (and a newer one may be in flight) -- ignore.
                 self.acks_received += 1
-                self.duplicates_dropped += 1
+                self._note_duplicate(ack)
                 return
             self._disarm(("s", peer))
         else:
@@ -277,14 +302,14 @@ class RetransmittingNifdyNIC(NifdyNIC):
             src = packet.src
             if self._last_acked_bit.get(src) == bit:
                 # Duplicate of an already-acked packet: the ack was lost.
-                self.duplicates_dropped += 1
+                self._note_duplicate(packet)
                 self._release_ejection(packet, vc, port)
                 self._emit_scalar_ack(packet)
                 return
             if self._infifo_bits.get(src) == bit:
                 # Duplicate of a packet still queued for the processor;
                 # its ack fires when that copy is popped, so just drop this.
-                self.duplicates_dropped += 1
+                self._note_duplicate(packet)
                 self._release_ejection(packet, vc, port)
                 return
             self._infifo_bits[src] = bit
@@ -294,7 +319,7 @@ class RetransmittingNifdyNIC(NifdyNIC):
                 # Dialog already torn down (and, on a src mismatch, its id
                 # re-granted to a different sender); the terminated ack was
                 # lost.  Re-ack so the stale sender stops its timer.
-                self.duplicates_dropped += 1
+                self._note_duplicate(packet)
                 self._release_ejection(packet, vc, port)
                 self._send_ack(
                     packet.src,
@@ -308,7 +333,7 @@ class RetransmittingNifdyNIC(NifdyNIC):
                 )
                 return
             if packet.seq < dialog.next_deliver_seq or packet.seq in dialog.buffers:
-                self.duplicates_dropped += 1
+                self._note_duplicate(packet)
                 self._release_ejection(packet, vc, port)
                 self._emit_bulk_ack(dialog, terminate=False)
                 return
@@ -318,7 +343,7 @@ class RetransmittingNifdyNIC(NifdyNIC):
                 # dialog generation with this same (src, id).  Its original
                 # was delivered and acked; drop the wire garbage silently
                 # (a terminate re-ack here would poison the live dialog).
-                self.duplicates_dropped += 1
+                self._note_duplicate(packet)
                 self._release_ejection(packet, vc, port)
                 return
         super()._on_packet_ejected(packet, vc, port)

@@ -117,7 +117,9 @@ class Packet:
     uid: int = field(default_factory=lambda: next(_packet_ids))
     created_cycle: int = -1
     injected_cycle: int = -1
+    ejected_cycle: int = -1        # tail flit assembled at destination NIC
     delivered_cycle: int = -1
+    abandoned_cycle: int = -1      # sender wrote the delivery debt off
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..links import FlitFeeder, FlitSink, Link
+from ..obs.events import EventKind
 from ..packets import Packet
 from ..sim import Simulator
 
@@ -133,6 +134,14 @@ class InputUnit(FlitFeeder):
                 return
         if not transit.waiting_for_vc:
             transit.waiting_for_vc = True
+            obs = self.router.obs
+            if obs is not None:
+                packet = transit.packet
+                obs.emit(
+                    self.router.sim.now, EventKind.ROUTER_BLOCK, -1,
+                    uid=packet.uid, src=packet.src, dst=packet.dst,
+                    info=f"r{self.router.rid}:p{self.port}:v{self.vc}",
+                )
             for link, _ in transit.choices:
                 link.add_alloc_waiter(lambda t=transit: self._retry_allocate(t))
 
@@ -194,6 +203,8 @@ class Router(FlitSink):
         self.route_delay = route_delay
         self._input_units: Dict[int, List[InputUnit]] = {}
         self.out_links: Dict[int, Link] = {}
+        #: Protocol event bus; None = un-instrumented (the common case).
+        self.obs = None
 
     def attach_in_link(self, port: int, link: Link) -> None:
         """Register ``link`` as the input channel for ``port``.

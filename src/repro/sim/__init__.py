@@ -1,7 +1,7 @@
 """Simulation substrate: deterministic event kernel, RNG streams, barriers."""
 
 from .barrier import Barrier
-from .kernel import Event, Simulator
+from .kernel import Event, KernelProfile, Simulator
 from .rng import RngFactory
 
-__all__ = ["Barrier", "Event", "RngFactory", "Simulator"]
+__all__ = ["Barrier", "Event", "KernelProfile", "RngFactory", "Simulator"]

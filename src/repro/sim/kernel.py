@@ -6,12 +6,20 @@ integer cycle boundaries, and simultaneous events fire in a deterministic
 order -- but use an event heap so idle components cost nothing.  Events that
 are scheduled for the same cycle fire in the order they were scheduled, which
 makes every run bit-for-bit reproducible for a given seed.
+
+Self-profiling (:meth:`Simulator.enable_profiling`) measures where the
+*simulator's own* wall-clock time goes: events executed per second and
+cumulative time per handler type.  It exists so performance regressions in
+the simulator become a measured number run-to-run rather than a feeling;
+the profiled loop is a separate code path, so an un-profiled run pays
+nothing for the feature.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
 
 class Event:
@@ -20,7 +28,7 @@ class Event:
     Cancellation is O(1): the event is flagged and skipped when popped.
     """
 
-    __slots__ = ("cycle", "seq", "fn", "args", "cancelled")
+    __slots__ = ("cycle", "seq", "fn", "args", "cancelled", "_fired", "_sim")
 
     def __init__(self, cycle: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.cycle = cycle
@@ -28,10 +36,17 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._fired = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Safe to call more than once."""
+        """Prevent the event from firing.  Safe to call more than once, and
+        safe to call on an event that has already fired (a no-op)."""
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.cycle, self.seq) < (other.cycle, other.seq)
@@ -39,6 +54,70 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
         return f"<Event @{self.cycle} #{self.seq}{state} {self.fn!r}>"
+
+
+class KernelProfile:
+    """Wall-clock accounting of the event loop (simulator self-profiling).
+
+    ``by_handler`` maps a handler's qualified name (e.g.
+    ``NifdyNIC._process_ack``) to ``[count, seconds]``; ``loop_seconds``
+    is total time spent inside the run loop, so ``events_per_sec`` includes
+    heap overhead -- the honest throughput figure for comparing runs.
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.loop_seconds = 0.0
+        self.by_handler: Dict[str, List] = {}
+
+    def note(self, fn: Callable, seconds: float) -> None:
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        entry = self.by_handler.get(name)
+        if entry is None:
+            self.by_handler[name] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.loop_seconds <= 0.0:
+            return 0.0
+        return self.events / self.loop_seconds
+
+    def table(self, top: Optional[int] = None):
+        """``(handler, count, seconds, us_per_event)`` rows, costliest first."""
+        rows = [
+            (name, count, seconds, 1e6 * seconds / count if count else 0.0)
+            for name, (count, seconds) in self.by_handler.items()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows[:top] if top is not None else rows
+
+    def to_dict(self) -> Dict:
+        return {
+            "events": self.events,
+            "loop_seconds": self.loop_seconds,
+            "events_per_sec": self.events_per_sec,
+            "handlers": {
+                name: {
+                    "count": count,
+                    "seconds": seconds,
+                    "us_per_event": 1e6 * seconds / count if count else 0.0,
+                }
+                for name, (count, seconds) in self.by_handler.items()
+            },
+        }
+
+    def format(self, top: int = 12) -> str:
+        lines = [
+            f"self-profile: {self.events:,} events in {self.loop_seconds:.3f}s "
+            f"wall ({self.events_per_sec:,.0f} events/sec)"
+        ]
+        lines.append(f"  {'handler':44s}{'count':>10s}{'seconds':>10s}{'us/ev':>8s}")
+        for name, count, seconds, us in self.table(top):
+            lines.append(f"  {name[:44]:44s}{count:>10,}{seconds:>10.3f}{us:>8.1f}")
+        return "\n".join(lines)
 
 
 class Simulator:
@@ -49,11 +128,25 @@ class Simulator:
         self._seq = 0
         self._heap: List[Event] = []
         self._running = False
+        self._live = 0
+        self._profile: Optional[KernelProfile] = None
 
     @property
     def now(self) -> int:
         """Current simulation cycle."""
         return self._now
+
+    @property
+    def profile(self) -> Optional[KernelProfile]:
+        """The active :class:`KernelProfile`, if profiling is enabled."""
+        return self._profile
+
+    def enable_profiling(self) -> KernelProfile:
+        """Switch the run loop to the timed path.  Idempotent; returns the
+        profile (which accumulates across run calls)."""
+        if self._profile is None:
+            self._profile = KernelProfile()
+        return self._profile
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
@@ -68,7 +161,9 @@ class Simulator:
                 f"cannot schedule at cycle {cycle}; current cycle is {self._now}"
             )
         event = Event(cycle, self._seq, fn, args)
+        event._sim = self
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -80,13 +175,19 @@ class Simulator:
         """
         self._running = True
         heap = self._heap
+        profile = self._profile
         try:
-            while heap and heap[0].cycle < cycle:
-                event = heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._now = event.cycle
-                event.fn(*event.args)
+            if profile is None:
+                while heap and heap[0].cycle < cycle:
+                    event = heapq.heappop(heap)
+                    if event.cancelled:
+                        continue
+                    event._fired = True
+                    self._live -= 1
+                    self._now = event.cycle
+                    event.fn(*event.args)
+            else:
+                self._run_profiled(lambda: heap and heap[0].cycle < cycle)
         finally:
             self._running = False
         self._now = max(self._now, cycle)
@@ -97,20 +198,50 @@ class Simulator:
             self.run_until(self._now + max_cycles)
             return
         heap = self._heap
+        profile = self._profile
         self._running = True
         try:
-            while heap:
-                event = heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._now = event.cycle
-                event.fn(*event.args)
+            if profile is None:
+                while heap:
+                    event = heapq.heappop(heap)
+                    if event.cancelled:
+                        continue
+                    event._fired = True
+                    self._live -= 1
+                    self._now = event.cycle
+                    event.fn(*event.args)
+            else:
+                self._run_profiled(lambda: bool(heap))
         finally:
             self._running = False
 
+    def _run_profiled(self, more: Callable[[], Any]) -> None:
+        """The timed event loop: same semantics as the plain loops, plus
+        per-handler wall-clock accounting."""
+        heap = self._heap
+        profile = self._profile
+        clock = time.perf_counter
+        loop_start = clock()
+        try:
+            while more():
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                event._fired = True
+                self._live -= 1
+                self._now = event.cycle
+                start = clock()
+                event.fn(*event.args)
+                profile.note(event.fn, clock() - start)
+                profile.events += 1
+        finally:
+            profile.loop_seconds += clock() - loop_start
+
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.  O(1): a live
+        count is maintained on schedule/cancel/pop (the liveness watchdog
+        polls this every check interval)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self._now} queued={len(self._heap)}>"
