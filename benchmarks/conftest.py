@@ -14,6 +14,7 @@ that).
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -28,6 +29,9 @@ BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "20000"))
 #: Random seed shared by all benches.
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
 
+#: Worker processes for the sweep-engine-backed benches.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 class Report:
     """Prints rows live and archives them to text + JSON results files."""
@@ -40,6 +44,7 @@ class Report:
         self.json_path = RESULTS_DIR / f"{name}.json"
         self._lines = []
         self.data = {}
+        self.wall_seconds = 0.0
 
     def line(self, text: str = "") -> None:
         self._lines.append(text)
@@ -59,6 +64,7 @@ class Report:
             "bench": self.name,
             "bench_cycles": BENCH_CYCLES,
             "bench_seed": BENCH_SEED,
+            "wall_seconds": round(self.wall_seconds, 3),
             "data": self.data,
         }
         self.json_path.write_text(json.dumps(doc, indent=2, default=str) + "\n")
@@ -72,8 +78,27 @@ def report(request):
     rep.line("=" * 78)
     rep.line(f"{request.node.name}")
     rep.line("=" * 78)
+    start = time.perf_counter()
     yield rep
+    rep.wall_seconds = time.perf_counter() - start
     rep.flush()
+
+
+@pytest.fixture
+def engine(report):
+    """Cache-backed sweep engine for the delivered-count benches.
+
+    Points are cached under ``benchmarks/results/.cache`` keyed on spec
+    content + code version, so re-runs over an unchanged tree are nearly
+    free; ``REPRO_BENCH_JOBS`` parallelises cold runs.  Hit/miss stats land
+    in the bench's JSON (and the merged summary) under ``engine``.
+    """
+    from repro.experiments import SweepEngine
+
+    eng = SweepEngine(jobs=BENCH_JOBS, cache=True,
+                      cache_dir=RESULTS_DIR / ".cache")
+    yield eng
+    report.record("engine", eng.stats.as_dict())
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -14,7 +14,9 @@
    Compressionless Routing's abort timeout).
 """
 
-from repro.experiments import cshift, light_synthetic, run_experiment
+from repro.experiments import (
+    ExperimentSpec, cshift, light_synthetic, run_experiment,
+)
 from repro.nic import NifdyParams
 from repro.traffic import CShiftConfig
 
@@ -29,38 +31,39 @@ def run_ablations():
             opt_size=8, pool_size=8, dialogs=1, window=2,
             scalar_ack_on_insert=on_insert,
         )
-        out[label] = run_experiment(
-            "fattree", light_synthetic(), num_nodes=64, nic_mode="nifdy-",
-            nifdy_params=params, run_cycles=BENCH_CYCLES, seed=BENCH_SEED,
-        ).delivered
+        out[label] = run_experiment(ExperimentSpec(
+            network="fattree", traffic=light_synthetic(), num_nodes=64,
+            nic_mode="nifdy-", nifdy_params=params, run_cycles=BENCH_CYCLES,
+            seed=BENCH_SEED,
+        )).delivered
     # 2: ack combining on a long-message workload over the high-latency tree
     for label, ack_every in (("combined acks (W/2)", None), ("per-packet acks", 1)):
         params = NifdyParams(
             opt_size=8, pool_size=8, dialogs=1, window=8, ack_every=ack_every
         )
-        result = run_experiment(
-            "fattree-sf",
-            cshift(CShiftConfig(words_per_phase=60)),
+        result = run_experiment(ExperimentSpec(
+            network="fattree-sf",
+            traffic=cshift(CShiftConfig(words_per_phase=60)),
             num_nodes=64,
             nic_mode="nifdy",
             nifdy_params=params,
             seed=BENCH_SEED,
             max_cycles=20_000_000,
-        )
+        ))
         acks = sum(nic.acks_sent for nic in result.nics)
         out[label] = (result.cycles, acks)
     # 3: retransmission timeout sweep on a lossy fat tree
     for timeout in (400, 1000, 3000):
-        result = run_experiment(
-            "fattree",
-            cshift(CShiftConfig(words_per_phase=24)),
+        result = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=cshift(CShiftConfig(words_per_phase=24)),
             num_nodes=16,
             nic_mode="nifdy",
             drop_prob=0.08,
             retx_timeout=timeout,
             seed=BENCH_SEED,
             max_cycles=30_000_000,
-        )
+        ))
         retx = sum(nic.retransmissions for nic in result.nics)
         out[f"retx timeout {timeout}"] = (result.cycles, retx, result.completed)
     return out

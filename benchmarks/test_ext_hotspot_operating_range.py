@@ -21,8 +21,7 @@ figure:
   its potential".
 """
 
-from repro.experiments import heavy_synthetic, hotspot, run_experiment
-from repro.nic import NifdyParams
+from repro.experiments import ExperimentSpec, heavy_synthetic, hotspot
 from repro.traffic import HotSpotConfig, SyntheticConfig
 
 from conftest import BENCH_CYCLES, BENCH_SEED
@@ -30,48 +29,67 @@ from conftest import BENCH_CYCLES, BENCH_SEED
 GAPS = (800, 400, 200, 100, 0)  # decreasing gap = increasing offered load
 
 
-def run_operating_range():
-    curves = {}
-    for mode in ("plain", "nifdy-"):
-        curves[mode] = []
-        for gap in GAPS:
-            cfg = SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
-            result = run_experiment(
-                "torus2d", heavy_synthetic(cfg), num_nodes=64, nic_mode=mode,
-                run_cycles=BENCH_CYCLES, seed=BENCH_SEED,
-            )
-            curves[mode].append(result.delivered)
-    return curves
-
-
-def run_hotspot():
-    out = {}
-    for mode in ("plain", "buffered", "nifdy-"):
-        result = run_experiment(
-            "mesh2d",
-            hotspot(HotSpotConfig(hot_node=27, hot_fraction=0.3,
-                                  packets_per_node=120)),
-            num_nodes=64, nic_mode=mode, seed=BENCH_SEED,
-            max_cycles=20_000_000,
+def run_operating_range(engine):
+    specs = [
+        ExperimentSpec(
+            network="torus2d",
+            traffic=heavy_synthetic(
+                SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
+            ),
+            num_nodes=64, nic_mode=mode, run_cycles=BENCH_CYCLES,
+            seed=BENCH_SEED, label=f"{mode}/gap={gap}",
         )
-        assert result.completed, mode
-        out[mode] = result.cycles
-    return out
+        for mode in ("plain", "nifdy-")
+        for gap in GAPS
+    ]
+    points = iter(engine.run(specs))
+    return {
+        mode: [next(points).delivered for _ in GAPS]
+        for mode in ("plain", "nifdy-")
+    }
 
 
-def run_adaptive_mesh():
+def run_hotspot(engine):
+    modes = ("plain", "buffered", "nifdy-")
+    specs = [
+        ExperimentSpec(
+            network="mesh2d",
+            traffic=hotspot(HotSpotConfig(hot_node=27, hot_fraction=0.3,
+                                          packets_per_node=120)),
+            num_nodes=64, nic_mode=mode, seed=BENCH_SEED,
+            max_cycles=20_000_000, label=f"hotspot/{mode}",
+        )
+        for mode in modes
+    ]
     out = {}
-    for network in ("mesh2d", "mesh2d-adaptive"):
-        for mode in ("plain", "nifdy-"):
-            out[(network, mode)] = run_experiment(
-                network, heavy_synthetic(), num_nodes=64, nic_mode=mode,
-                run_cycles=BENCH_CYCLES, seed=BENCH_SEED,
-            ).delivered
+    for mode, point in zip(modes, engine.run(specs)):
+        assert point.completed, mode
+        out[mode] = point.cycles
     return out
 
 
-def test_ext_operating_range(benchmark, report):
-    curves = benchmark.pedantic(run_operating_range, rounds=1, iterations=1)
+def run_adaptive_mesh(engine):
+    pairs = [
+        (network, mode)
+        for network in ("mesh2d", "mesh2d-adaptive")
+        for mode in ("plain", "nifdy-")
+    ]
+    specs = [
+        ExperimentSpec(
+            network=network, traffic=heavy_synthetic(), num_nodes=64,
+            nic_mode=mode, run_cycles=BENCH_CYCLES, seed=BENCH_SEED,
+            label=f"{network}/{mode}",
+        )
+        for network, mode in pairs
+    ]
+    return {
+        pair: point.delivered for pair, point in zip(pairs, engine.run(specs))
+    }
+
+
+def test_ext_operating_range(benchmark, report, engine):
+    curves = benchmark.pedantic(run_operating_range, args=(engine,), rounds=1,
+                                iterations=1)
     report.line("Operating range (torus, heavy traffic): delivered packets vs "
                 "offered load")
     report.line(f"{'send gap':>10s}{'plain':>10s}{'NIFDY':>10s}")
@@ -90,8 +108,9 @@ def test_ext_operating_range(benchmark, report):
     assert nifdy[-1] > 1.1 * plain[-1]
 
 
-def test_ext_hotspot_throttling(benchmark, report):
-    out = benchmark.pedantic(run_hotspot, rounds=1, iterations=1)
+def test_ext_hotspot_throttling(benchmark, report, engine):
+    out = benchmark.pedantic(run_hotspot, args=(engine,), rounds=1,
+                             iterations=1)
     report.line("Hot spot (8x8 mesh, 30% of traffic to node 27): cycles to "
                 "drain a fixed workload")
     for mode, cycles in out.items():
@@ -102,8 +121,9 @@ def test_ext_hotspot_throttling(benchmark, report):
     assert out["nifdy-"] <= 1.05 * out["buffered"]
 
 
-def test_ext_adaptive_mesh(benchmark, report):
-    out = benchmark.pedantic(run_adaptive_mesh, rounds=1, iterations=1)
+def test_ext_adaptive_mesh(benchmark, report, engine):
+    out = benchmark.pedantic(run_adaptive_mesh, args=(engine,), rounds=1,
+                             iterations=1)
     report.line("Adaptive mesh routing (Section 6.3), heavy traffic, "
                 f"{BENCH_CYCLES:,} cycles:")
     for (network, mode), delivered in out.items():

@@ -14,7 +14,7 @@ per-network best parameters.  The paper's claims, which this bench asserts:
   caption) -- that shows up in Figures 6-8.
 """
 
-from repro.experiments import heavy_synthetic, run_experiment
+from repro.experiments import ExperimentSpec, heavy_synthetic
 from repro.networks import NETWORK_NAMES
 
 from conftest import BENCH_CYCLES, BENCH_SEED
@@ -22,25 +22,29 @@ from conftest import BENCH_CYCLES, BENCH_SEED
 MODES = ("plain", "buffered", "nifdy-")
 
 
-def run_figure2():
-    rows = {}
-    for network in NETWORK_NAMES:
-        rows[network] = {
-            mode: run_experiment(
-                network,
-                heavy_synthetic(),
-                num_nodes=64,
-                nic_mode=mode,
-                run_cycles=BENCH_CYCLES,
-                seed=BENCH_SEED,
-            ).delivered
-            for mode in MODES
-        }
-    return rows
+def fig2_specs():
+    return [
+        ExperimentSpec(
+            network=network, traffic=heavy_synthetic(), num_nodes=64,
+            nic_mode=mode, run_cycles=BENCH_CYCLES, seed=BENCH_SEED,
+            label=f"{network}/{mode}",
+        )
+        for network in NETWORK_NAMES
+        for mode in MODES
+    ]
 
 
-def test_fig2_heavy_synthetic(benchmark, report):
-    rows = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+def run_figure2(engine):
+    points = iter(engine.run(fig2_specs()))
+    return {
+        network: {mode: next(points).delivered for mode in MODES}
+        for network in NETWORK_NAMES
+    }
+
+
+def test_fig2_heavy_synthetic(benchmark, report, engine):
+    rows = benchmark.pedantic(run_figure2, args=(engine,), rounds=1,
+                              iterations=1)
     report.line(
         f"Figure 2: packets delivered in {BENCH_CYCLES:,} cycles, heavy traffic"
     )

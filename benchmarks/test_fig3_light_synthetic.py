@@ -7,7 +7,7 @@ with occasional target collisions and unresponsive receivers -- the regime
 where bulk dialogs (window W) matter most.
 """
 
-from repro.experiments import light_synthetic, run_experiment
+from repro.experiments import ExperimentSpec, light_synthetic
 from repro.networks import NETWORK_NAMES
 
 from conftest import BENCH_CYCLES, BENCH_SEED
@@ -15,25 +15,29 @@ from conftest import BENCH_CYCLES, BENCH_SEED
 MODES = ("plain", "buffered", "nifdy-")
 
 
-def run_figure3():
-    rows = {}
-    for network in NETWORK_NAMES:
-        rows[network] = {
-            mode: run_experiment(
-                network,
-                light_synthetic(),
-                num_nodes=64,
-                nic_mode=mode,
-                run_cycles=BENCH_CYCLES,
-                seed=BENCH_SEED,
-            ).delivered
-            for mode in MODES
-        }
-    return rows
+def fig3_specs():
+    return [
+        ExperimentSpec(
+            network=network, traffic=light_synthetic(), num_nodes=64,
+            nic_mode=mode, run_cycles=BENCH_CYCLES, seed=BENCH_SEED,
+            label=f"{network}/{mode}",
+        )
+        for network in NETWORK_NAMES
+        for mode in MODES
+    ]
 
 
-def test_fig3_light_synthetic(benchmark, report):
-    rows = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+def run_figure3(engine):
+    points = iter(engine.run(fig3_specs()))
+    return {
+        network: {mode: next(points).delivered for mode in MODES}
+        for network in NETWORK_NAMES
+    }
+
+
+def test_fig3_light_synthetic(benchmark, report, engine):
+    rows = benchmark.pedantic(run_figure3, args=(engine,), rounds=1,
+                              iterations=1)
     report.line(
         f"Figure 3: packets delivered in {BENCH_CYCLES:,} cycles, light traffic"
     )

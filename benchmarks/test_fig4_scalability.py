@@ -11,7 +11,7 @@ right panel: for OPT sizes O.  Findings asserted here:
 * a small constant O (= 8) is at or near the best across sizes.
 """
 
-from repro.experiments import heavy_synthetic, run_experiment
+from repro.experiments import ExperimentSpec, heavy_synthetic
 from repro.nic import NifdyParams
 from repro.traffic import SyntheticConfig
 
@@ -29,35 +29,48 @@ def _traffic():
     )
 
 
-def run_figure4():
+def _spec(size, mode, params=None, label=""):
+    return ExperimentSpec(
+        network="fattree", traffic=_traffic(), num_nodes=size, nic_mode=mode,
+        nifdy_params=params, run_cycles=CYCLES, seed=BENCH_SEED, label=label,
+    )
+
+
+def fig4_specs():
+    specs = []
+    for size in SIZES:
+        specs.append(_spec(size, "plain", label=f"n{size}/plain"))
+        for b in B_VALUES:
+            params = NifdyParams(opt_size=8, pool_size=b, dialogs=0, window=0)
+            specs.append(_spec(size, "nifdy-", params, f"n{size}/B={b}"))
+        for o in O_VALUES:
+            if o == 8:  # same point as B=8 above
+                continue
+            params = NifdyParams(opt_size=o, pool_size=8, dialogs=0, window=0)
+            specs.append(_spec(size, "nifdy-", params, f"n{size}/O={o}"))
+    return specs
+
+
+def run_figure4(engine):
+    points = iter(engine.run(fig4_specs()))
     baseline = {}
     by_b = {}
     by_o = {}
     for size in SIZES:
-        baseline[size] = run_experiment(
-            "fattree", _traffic(), num_nodes=size, nic_mode="plain",
-            run_cycles=CYCLES, seed=BENCH_SEED,
-        ).delivered
+        baseline[size] = next(points).delivered
         for b in B_VALUES:
-            params = NifdyParams(opt_size=8, pool_size=b, dialogs=0, window=0)
-            by_b[(size, b)] = run_experiment(
-                "fattree", _traffic(), num_nodes=size, nic_mode="nifdy-",
-                nifdy_params=params, run_cycles=CYCLES, seed=BENCH_SEED,
-            ).delivered
+            by_b[(size, b)] = next(points).delivered
         for o in O_VALUES:
             if o == 8:
                 by_o[(size, o)] = by_b[(size, 8)]
-                continue
-            params = NifdyParams(opt_size=o, pool_size=8, dialogs=0, window=0)
-            by_o[(size, o)] = run_experiment(
-                "fattree", _traffic(), num_nodes=size, nic_mode="nifdy-",
-                nifdy_params=params, run_cycles=CYCLES, seed=BENCH_SEED,
-            ).delivered
+            else:
+                by_o[(size, o)] = next(points).delivered
     return baseline, by_b, by_o
 
 
-def test_fig4_scalability(benchmark, report):
-    baseline, by_b, by_o = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+def test_fig4_scalability(benchmark, report, engine):
+    baseline, by_b, by_o = benchmark.pedantic(run_figure4, args=(engine,),
+                                              rounds=1, iterations=1)
 
     report.line(f"Figure 4 (left): normalized throughput vs size, varying B "
                 f"(O=8, no bulk, {CYCLES:,} cycles)")

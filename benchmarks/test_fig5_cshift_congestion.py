@@ -11,7 +11,7 @@ asserts the summary statistics: NIFDY's worst per-receiver backlog is
 smaller and the same traffic finishes no later.
 """
 
-from repro.experiments import cshift, run_experiment
+from repro.experiments import ExperimentSpec, cshift, run_experiment
 from repro.traffic import CShiftConfig
 
 from conftest import BENCH_SEED
@@ -23,9 +23,9 @@ WORDS = 90
 def run_figure5():
     results = {}
     for label, mode in (("plain", "plain"), ("nifdy", "nifdy")):
-        results[label] = run_experiment(
-            "cm5",
-            cshift(CShiftConfig(words_per_phase=WORDS, barriers=False)),
+        results[label] = run_experiment(ExperimentSpec(
+            network="cm5",
+            traffic=cshift(CShiftConfig(words_per_phase=WORDS, barriers=False)),
             num_nodes=64,
             active_nodes=NODES,
             nic_mode=mode,
@@ -33,7 +33,7 @@ def run_figure5():
             track_congestion=True,
             congestion_sample_every=4000,
             max_cycles=10_000_000,
-        )
+        ))
     return results
 
 

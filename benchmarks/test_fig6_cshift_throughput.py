@@ -14,7 +14,7 @@ count is identical across configurations; the packet count is not, because
 the in-order library packs more payload per packet).
 """
 
-from repro.experiments import cshift, run_experiment
+from repro.experiments import ExperimentSpec, cshift, run_experiment
 from repro.traffic import CShiftConfig
 
 from conftest import BENCH_SEED
@@ -34,15 +34,15 @@ CONFIGS = (
 def run_figure6():
     results = {}
     for label, mode, barriers in CONFIGS:
-        results[label] = run_experiment(
-            "cm5",
-            cshift(CShiftConfig(words_per_phase=WORDS, barriers=barriers)),
+        results[label] = run_experiment(ExperimentSpec(
+            network="cm5",
+            traffic=cshift(CShiftConfig(words_per_phase=WORDS, barriers=barriers)),
             num_nodes=64,
             active_nodes=NODES,
             nic_mode=mode,
             seed=BENCH_SEED,
             max_cycles=10_000_000,
-        )
+        ))
     return results
 
 

@@ -13,7 +13,7 @@ the paper.  Claims asserted:
 * under light loads the in-order benefit is modest (the paper quotes ~10%).
 """
 
-from repro.experiments import em3d, run_experiment
+from repro.experiments import ExperimentSpec, em3d, run_experiment
 from repro.traffic import Em3dConfig
 
 from conftest import BENCH_SEED
@@ -35,10 +35,10 @@ def run_em3d(config):
     for network in NETWORKS:
         rows[network] = {}
         for mode in MODES:
-            result = run_experiment(
-                network, em3d(config), num_nodes=64, nic_mode=mode,
-                seed=BENCH_SEED, max_cycles=30_000_000,
-            )
+            result = run_experiment(ExperimentSpec(
+                network=network, traffic=em3d(config), num_nodes=64,
+                nic_mode=mode, seed=BENCH_SEED, max_cycles=30_000_000,
+            ))
             assert result.completed, (network, mode)
             rows[network][mode] = result.drivers[0].cycles_per_iteration()
     return rows

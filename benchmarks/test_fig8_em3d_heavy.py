@@ -7,7 +7,6 @@ with congestion relief.  Same claims as Figure 7, but the NIFDY gain over
 buffers-only should be larger here than under light communication.
 """
 
-from repro.experiments import em3d, run_experiment
 from repro.traffic import Em3dConfig
 
 from conftest import BENCH_SEED

@@ -14,7 +14,7 @@ asserted:
   with and without NIFDY -- the protocol's restrictiveness does not hurt.
 """
 
-from repro.experiments import radix_sort, run_experiment
+from repro.experiments import ExperimentSpec, radix_sort, run_experiment
 from repro.traffic import RadixSortConfig
 
 from conftest import BENCH_SEED
@@ -25,9 +25,9 @@ BUCKETS = 128
 
 
 def scan_cycles(network, nic_mode, delay, run_coalesce=False):
-    result = run_experiment(
-        network,
-        radix_sort(
+    result = run_experiment(ExperimentSpec(
+        network=network,
+        traffic=radix_sort(
             RadixSortConfig(
                 buckets=BUCKETS,
                 inter_send_delay=delay,
@@ -38,7 +38,7 @@ def scan_cycles(network, nic_mode, delay, run_coalesce=False):
         nic_mode=nic_mode,
         seed=BENCH_SEED,
         max_cycles=40_000_000,
-    )
+    ))
     assert result.completed, (network, nic_mode, delay)
     scan = max(d.scan_finished_cycle for d in result.drivers)
     coalesce = None

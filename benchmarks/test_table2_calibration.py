@@ -18,7 +18,6 @@ with the paper's structure:
 import pytest
 
 from repro.analysis import measure_latency_fit
-from repro.experiments import run_experiment
 from repro.node import CM5_TIMING
 from repro.sim import RngFactory
 

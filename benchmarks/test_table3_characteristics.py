@@ -16,7 +16,7 @@ Structural claims asserted:
 """
 
 from repro.analysis import characterize
-from repro.experiments import heavy_synthetic, light_synthetic, run_experiment
+from repro.experiments import ExperimentSpec, heavy_synthetic, light_synthetic
 from repro.networks import NETWORK_NAMES
 from repro.nic import NifdyParams
 
@@ -28,29 +28,41 @@ W_CHOICES = (2, 8)
 SWEEP_CYCLES = max(5000, BENCH_CYCLES // 2)
 
 
-def run_table3():
-    rows = {
-        name: characterize(name, 64, hop_sample=400, measure_latency=True)
-        for name in NETWORK_NAMES
-    }
-    sweep = {}
+def table3_sweep_specs():
+    specs = []
     for network in SWEEP_NETWORKS:
         for o in O_CHOICES:
             for w in W_CHOICES:
                 params = NifdyParams(opt_size=o, pool_size=8, dialogs=1, window=w)
-                total = 0
                 for traffic in (heavy_synthetic(), light_synthetic()):
-                    total += run_experiment(
-                        network, traffic, num_nodes=64, nic_mode="nifdy-",
-                        nifdy_params=params, run_cycles=SWEEP_CYCLES,
-                        seed=BENCH_SEED,
-                    ).delivered
-                sweep[(network, o, w)] = total
+                    specs.append(ExperimentSpec(
+                        network=network, traffic=traffic, num_nodes=64,
+                        nic_mode="nifdy-", nifdy_params=params,
+                        run_cycles=SWEEP_CYCLES, seed=BENCH_SEED,
+                        label=f"{network}/O={o}/W={w}/{traffic.name}",
+                    ))
+    return specs
+
+
+def run_table3(engine):
+    rows = {
+        name: characterize(name, 64, hop_sample=400, measure_latency=True)
+        for name in NETWORK_NAMES
+    }
+    points = iter(engine.run(table3_sweep_specs()))
+    sweep = {}
+    for network in SWEEP_NETWORKS:
+        for o in O_CHOICES:
+            for w in W_CHOICES:
+                sweep[(network, o, w)] = (
+                    next(points).delivered + next(points).delivered
+                )
     return rows, sweep
 
 
-def test_table3_characteristics(benchmark, report):
-    rows, sweep = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+def test_table3_characteristics(benchmark, report, engine):
+    rows, sweep = benchmark.pedantic(run_table3, args=(engine,), rounds=1,
+                                     iterations=1)
     report.line("Table 3 (left): measured 64-node network characteristics")
     report.line(
         f"{'network':16s}{'volume':>9s}{'bisect':>9s}{'avg d':>7s}{'max d':>7s}"

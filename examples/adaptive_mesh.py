@@ -16,8 +16,7 @@ mesh pulls clearly ahead.
 Run:  python examples/adaptive_mesh.py
 """
 
-from repro.experiments import heavy_synthetic, run_experiment
-from repro.metrics import utilization_summary
+from repro.experiments import ExperimentSpec, SweepEngine, heavy_synthetic
 
 CYCLES = 20_000
 
@@ -25,17 +24,26 @@ CYCLES = 20_000
 def main() -> None:
     print(f"8x8 mesh, heavy random traffic, {CYCLES:,}-cycle window\n")
     print(f"{'routing':18s}{'NIC':9s}{'delivered':>11s}{'violations':>12s}")
+    pairs = [
+        (network, mode)
+        for network in ("mesh2d", "mesh2d-adaptive")
+        for mode in ("plain", "nifdy-")
+    ]
+    specs = [
+        ExperimentSpec(
+            network=network, traffic=heavy_synthetic(), num_nodes=64,
+            nic_mode=mode, run_cycles=CYCLES, seed=7,
+            label=f"{network}/{mode}",
+        )
+        for network, mode in pairs
+    ]
+    engine = SweepEngine(jobs=4, cache=False)
     results = {}
-    for network in ("mesh2d", "mesh2d-adaptive"):
-        for mode in ("plain", "nifdy-"):
-            result = run_experiment(
-                network, heavy_synthetic(), num_nodes=64, nic_mode=mode,
-                run_cycles=CYCLES, seed=7,
-            )
-            results[(network, mode)] = result.delivered
-            label = "dimension-order" if network == "mesh2d" else "adaptive"
-            print(f"{label:18s}{mode:9s}{result.delivered:>11,}"
-                  f"{result.order_violations:>12d}")
+    for (network, mode), point in zip(pairs, engine.run(specs)):
+        results[(network, mode)] = point.delivered
+        label = "dimension-order" if network == "mesh2d" else "adaptive"
+        print(f"{label:18s}{mode:9s}{point.delivered:>11,}"
+              f"{point.order_violations:>12d}")
 
     dor_gain = results[("mesh2d", "nifdy-")] / results[("mesh2d", "plain")]
     ad_gain = (

@@ -9,7 +9,7 @@ finishes the whole shift earlier than the Strata-style barrier version.
 Run:  python examples/cshift_demo.py
 """
 
-from repro.experiments import cshift, run_experiment
+from repro.experiments import ExperimentSpec, cshift, run_experiment
 from repro.traffic import CShiftConfig
 
 NODES = 32
@@ -17,9 +17,9 @@ WORDS = 90
 
 
 def run(label, nic_mode, barriers):
-    result = run_experiment(
-        "cm5",
-        cshift(CShiftConfig(words_per_phase=WORDS, barriers=barriers)),
+    result = run_experiment(ExperimentSpec(
+        network="cm5",
+        traffic=cshift(CShiftConfig(words_per_phase=WORDS, barriers=barriers)),
         num_nodes=64,          # the fabric is a 64-leaf CM-5 tree...
         active_nodes=NODES,    # ...populated with 32 processors, as in 4.3
         nic_mode=nic_mode,
@@ -27,7 +27,7 @@ def run(label, nic_mode, barriers):
         track_congestion=True,
         congestion_sample_every=4000,
         max_cycles=8_000_000,
-    )
+    ))
     peak = result.congestion.mean_peak_pending()
     print(
         f"{label:28s} finished={result.cycles:>9,} cycles  "

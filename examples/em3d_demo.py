@@ -10,7 +10,7 @@ payload per packet, cheaper receives).
 Run:  python examples/em3d_demo.py
 """
 
-from repro.experiments import em3d, run_experiment
+from repro.experiments import ExperimentSpec, em3d, run_experiment
 from repro.traffic import Em3dConfig
 
 NETWORKS = ("fattree", "mesh2d", "multibutterfly")
@@ -29,14 +29,14 @@ def main() -> None:
     for network in NETWORKS:
         cells = []
         for mode in MODES:
-            result = run_experiment(
-                network,
-                em3d(config),
+            result = run_experiment(ExperimentSpec(
+                network=network,
+                traffic=em3d(config),
                 num_nodes=64,
                 nic_mode=mode,
                 seed=5,
                 max_cycles=20_000_000,
-            )
+            ))
             cpi = result.drivers[0].cycles_per_iteration()
             cells.append(f"{cpi:>12,.0f}")
         print(f"{network:22s}" + "".join(cells))

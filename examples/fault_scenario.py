@@ -15,7 +15,7 @@ Exits non-zero if the run is incomplete, reordered, or dropped traffic
 
 import sys
 
-from repro.experiments import cshift, run_experiment
+from repro.experiments import ExperimentSpec, cshift, run_experiment
 from repro.faults import FaultPlan
 from repro.metrics import degradation_report, format_degradation
 
@@ -31,15 +31,15 @@ def main() -> int:
     print("16-node fat tree, C-shift workload")
     print(f"  link ft:up1.0 fails at cycle {FAIL_AT:,}, repaired at {REPAIR_AT:,}")
     print(f"  10% packet loss on every link while it is down\n")
-    result = run_experiment(
-        "fattree",
-        cshift(),
+    result = run_experiment(ExperimentSpec(
+        network="fattree",
+        traffic=cshift(),
         num_nodes=16,
         nic_mode="nifdy",
         fault_plan=plan,
         max_cycles=5_000_000,
         seed=1,
-    )
+    ))
     print(f"cycles simulated : {result.cycles:,}")
     print(f"packets sent     : {result.sent:,}")
     print(f"packets delivered: {result.delivered:,}")

@@ -14,7 +14,7 @@ ASCII, delivered throughput vs offered load for the bare NIC and for NIFDY.
 Run:  python examples/operating_range.py
 """
 
-from repro.experiments import heavy_synthetic, run_experiment
+from repro.experiments import ExperimentSpec, SweepEngine, heavy_synthetic
 from repro.traffic import SyntheticConfig
 
 GAPS = (1200, 800, 400, 200, 100, 50, 0)
@@ -24,16 +24,24 @@ CYCLES = 20_000
 def main() -> None:
     print("Offered-load sweep, 8x8 torus, heavy random traffic "
           f"({CYCLES:,}-cycle window)\n")
-    curves = {}
-    for mode in ("plain", "nifdy-"):
-        curves[mode] = []
-        for gap in GAPS:
-            cfg = SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
-            result = run_experiment(
-                "torus2d", heavy_synthetic(cfg), num_nodes=64,
-                nic_mode=mode, run_cycles=CYCLES, seed=7,
-            )
-            curves[mode].append(result.delivered)
+    specs = [
+        ExperimentSpec(
+            network="torus2d",
+            traffic=heavy_synthetic(
+                SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
+            ),
+            num_nodes=64, nic_mode=mode, run_cycles=CYCLES, seed=7,
+            label=f"{mode}/gap={gap}",
+        )
+        for mode in ("plain", "nifdy-")
+        for gap in GAPS
+    ]
+    engine = SweepEngine(jobs=4, cache=False)
+    points = iter(engine.run(specs))
+    curves = {
+        mode: [next(points).delivered for _ in GAPS]
+        for mode in ("plain", "nifdy-")
+    }
 
     scale = max(max(curve) for curve in curves.values())
     print(f"{'send gap':>9s} {'offered':>8s}   {'plain':>7s} {'NIFDY':>7s}"

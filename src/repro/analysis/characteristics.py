@@ -127,20 +127,18 @@ def measure_pairwise_bandwidth(
     The first packet's end-to-end latency is excluded (steady state), so
     the result is payload_bytes / mean inter-arrival time at the receiver.
     """
-    from ..experiments import run_experiment
-    from ..traffic.pairstream import PairStreamConfig, PairStreamDriver
+    from ..experiments import ExperimentSpec, run_experiment
+    from ..traffic import TrafficSpec
+    from ..traffic.pairstream import PairStreamConfig
 
     config = PairStreamConfig(
         src=src, dst=dst, packets=packets, bulk=bulk, packet_words=packet_words
     )
-
-    def factory(node, num, rngf, exploit):
-        return PairStreamDriver(node, num, config, rngf, exploit)
-
-    result = run_experiment(
-        network_name, factory, num_nodes=num_nodes, nic_mode=nic_mode,
-        seed=seed, max_cycles=10_000_000,
-    )
+    result = run_experiment(ExperimentSpec(
+        network=network_name, traffic=TrafficSpec("pairstream", config),
+        num_nodes=num_nodes, nic_mode=nic_mode, seed=seed,
+        max_cycles=10_000_000,
+    ))
     if not result.completed:
         raise RuntimeError(f"pair stream {src}->{dst} did not complete")
     receiver = result.drivers[dst]

@@ -8,13 +8,19 @@ Usage (after ``pip install -e .``)::
     python -m repro run --network fattree --traffic heavy \
         --metrics-out run.json --trace-chrome trace.json \
         --sample-interval 500 --profile
+    python -m repro sweep --network fattree --jobs 4
+    python -m repro sweep --network mesh2d --kind load --gaps 800,200,0
     python -m repro characterize --network mesh2d
     python -m repro advise --network cm5
 
 ``run`` prints the same metrics the benchmark suite reports (packets
-delivered, throughput, latency percentiles, ordering); ``characterize``
-prints a Table-3 row; ``advise`` runs the Section 2.4 parameter advisor on
-measured characteristics.
+delivered, throughput, latency percentiles, ordering); ``sweep`` runs a
+parameter/load/size grid through the parallel, cache-backed
+:class:`~repro.experiments.SweepEngine` (``--jobs N`` for worker processes,
+``--no-cache`` to force re-execution; the ranked table goes to stdout,
+progress and cache statistics to stderr so sweep outputs diff cleanly);
+``characterize`` prints a Table-3 row; ``advise`` runs the Section 2.4
+parameter advisor on measured characteristics.
 
 Observability flags on ``run``: ``--metrics-out FILE`` writes the full
 structured metrics JSON (totals, latency histograms, per-NIC counters,
@@ -35,14 +41,20 @@ from .analysis import NetworkModel, characterize, recommend_params
 from .faults import FaultPlan
 from .metrics import degradation_report, format_degradation
 from .experiments import (
+    ExperimentSpec,
+    SweepEngine,
     best_params,
     cshift,
+    default_param_grid,
     em3d,
     heavy_synthetic,
     hotspot,
     light_synthetic,
     radix_sort,
     run_experiment,
+    sweep_machine_sizes,
+    sweep_nifdy_params,
+    sweep_offered_load,
 )
 from .networks import EXTENSION_NETWORK_NAMES, NETWORK_NAMES
 from .nic import NifdyParams
@@ -116,9 +128,9 @@ def _cmd_run(args) -> int:
             trace=bool(args.trace_chrome),
             profile=args.profile,
         )
-    result = run_experiment(
-        args.network,
-        _traffic_factory(args.traffic),
+    result = run_experiment(ExperimentSpec(
+        network=args.network,
+        traffic=_traffic_factory(args.traffic),
         num_nodes=args.nodes,
         nic_mode=args.nic,
         nifdy_params=params,
@@ -130,7 +142,7 @@ def _cmd_run(args) -> int:
         fault_plan=plan,
         watchdog_cycles=args.watchdog,
         observe=observe,
-    )
+    ))
     hist = result.metrics.network_latency
     print(f"network          : {result.network}")
     print(f"NIC mode         : {result.nic_mode}")
@@ -197,6 +209,80 @@ def _write_observability(args, plan, result, observe) -> None:
               f"mean link busy {s.mean_link_busy():.3f}")
     if observe.kernel_profile is not None:
         print(observe.kernel_profile.format())
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(item) for item in text.split(",") if item != ""]
+
+
+def _cmd_sweep(args) -> int:
+    """Run a parameter/load/size sweep through the SweepEngine.
+
+    Results (the deterministic table) go to stdout; progress and cache
+    statistics go to stderr, so serial and parallel invocations of the
+    same grid produce byte-identical stdout -- the property the CI
+    parallel-smoke job diffs.
+    """
+    def progress(done, total, point):
+        status = "cache" if point.cached else ("ERROR" if point.error else "ran")
+        print(f"  [{done}/{total}] {point.label}: {status}", file=sys.stderr)
+
+    engine = SweepEngine(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=progress if not args.quiet else None,
+    )
+    if args.kind == "params":
+        grid = default_param_grid(
+            opt_sizes=_int_list(args.opt_grid), windows=_int_list(args.window_grid),
+        )
+        points = sweep_nifdy_params(
+            args.network, grid, num_nodes=args.nodes, run_cycles=args.cycles,
+            seed=args.seed, combine_light_and_heavy=not args.heavy_only,
+            engine=engine,
+        )
+        loads = "heavy" if args.heavy_only else "heavy+light"
+        print(f"NIFDY parameter sweep on {args.network} "
+              f"({loads}, {args.cycles:,}-cycle windows), best first:")
+        for point in points:
+            if point.error:
+                print(f"  {point.label:24s}  ERROR (see stderr)")
+                print(point.error, file=sys.stderr)
+            else:
+                print(f"  {point.label:24s}  delivered={point.delivered:>8,}  "
+                      f"throughput={point.throughput:8.1f}/kcycle")
+    elif args.kind == "load":
+        points = sweep_offered_load(
+            args.network, _int_list(args.gaps), nic_mode=args.nic,
+            num_nodes=args.nodes, run_cycles=args.cycles, seed=args.seed,
+            engine=engine,
+        )
+        print(f"Offered-load sweep on {args.network} ({args.nic}, "
+              f"{args.cycles:,}-cycle windows):")
+        for point in points:
+            print(f"  {point.label:12s}  delivered={point.delivered:>8,}  "
+                  f"throughput={point.throughput:8.1f}/kcycle")
+    else:  # sizes
+        params = best_params(args.network)
+        out = sweep_machine_sizes(
+            args.network, _int_list(args.sizes), params, baseline_mode=args.nic,
+            run_cycles=args.cycles, seed=args.seed, engine=engine,
+        )
+        print(f"Machine-size sweep on {args.network} "
+              f"(NIFDY vs {args.nic}, {args.cycles:,}-cycle windows):")
+        for size, (nifdy, base, norm) in out.items():
+            print(f"  n={size:<6d} nifdy={nifdy:>8,}  {args.nic}={base:>8,}  "
+                  f"normalized={norm:5.2f}x")
+    stats = engine.stats
+    print(
+        f"sweep: {stats.points} point(s), {stats.executed} executed, "
+        f"{stats.cache_hits} from cache ({stats.hit_rate:.0%}), "
+        f"{stats.errors} error(s), {stats.wall_s:.2f}s "
+        f"with --jobs {args.jobs}",
+        file=sys.stderr,
+    )
+    return 1 if stats.errors else 0
 
 
 def _cmd_characterize(args) -> int:
@@ -286,6 +372,43 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")
     run.add_argument("--window", type=int, default=None, help="NIFDY W")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter/load/size sweep (parallel + cached)",
+    )
+    sweep.add_argument("--network", required=True,
+                       choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES)
+    sweep.add_argument("--kind", default="params",
+                       choices=("params", "load", "sizes"),
+                       help="params: Table-3 (O, W) grid; load: Section-1 "
+                       "operating range; sizes: Figure-4 machine sizes")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not populate the on-disk result "
+                       "cache (benchmarks/results/.cache)")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="override the result-cache directory")
+    sweep.add_argument("--nodes", type=int, default=64)
+    sweep.add_argument("--cycles", type=int, default=10_000,
+                       help="measurement window per grid point")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--nic", default="plain", choices=NIC_CHOICES,
+                       help="baseline NIC mode for load/sizes sweeps")
+    sweep.add_argument("--opt-grid", default="2,4,8", metavar="O,O,...",
+                       help="params sweep: OPT sizes to try")
+    sweep.add_argument("--window-grid", default="0,2,8", metavar="W,W,...",
+                       help="params sweep: bulk windows to try (0 = no bulk)")
+    sweep.add_argument("--heavy-only", action="store_true",
+                       help="params sweep: score on heavy traffic only")
+    sweep.add_argument("--gaps", default="800,400,200,100,0",
+                       metavar="G,G,...",
+                       help="load sweep: inter-send gaps (big gap = light load)")
+    sweep.add_argument("--sizes", default="16,64,256", metavar="N,N,...",
+                       help="sizes sweep: machine sizes")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress on stderr")
+
     for name in ("characterize", "advise"):
         cmd = sub.add_parser(name, help=f"{name} a network")
         cmd.add_argument("--network", required=True,
@@ -300,6 +423,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "characterize": _cmd_characterize,
         "advise": _cmd_advise,
     }

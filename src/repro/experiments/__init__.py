@@ -1,6 +1,13 @@
-"""Experiment harness: specs, tuned parameters, and the runner."""
+"""Experiment harness: specs, tuned parameters, the runner, and the engine."""
 
 from .configs import BEST_PARAMS, best_params
+from .engine import (
+    ResultCache,
+    SweepEngine,
+    SweepPoint,
+    SweepStats,
+    code_version,
+)
 from .runner import (
     NIC_MODES,
     ExperimentResult,
@@ -8,9 +15,12 @@ from .runner import (
     make_nic_factory,
     run_experiment,
 )
+from .spec import ExperimentSpec, SpecSerializationError
 from .sweep import (
-    SweepPoint,
     default_param_grid,
+    machine_size_specs,
+    nifdy_param_specs,
+    offered_load_specs,
     sweep_machine_sizes,
     sweep_nifdy_params,
     sweep_offered_load,
@@ -27,17 +37,26 @@ from .workloads import (
 __all__ = [
     "BEST_PARAMS",
     "NIC_MODES",
-    "SweepPoint",
     "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "SpecSerializationError",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepStats",
     "TrafficFactory",
     "best_params",
+    "code_version",
     "cshift",
     "default_param_grid",
     "em3d",
     "heavy_synthetic",
     "hotspot",
     "light_synthetic",
+    "machine_size_specs",
     "make_nic_factory",
+    "nifdy_param_specs",
+    "offered_load_specs",
     "radix_sort",
     "run_experiment",
     "sweep_machine_sizes",

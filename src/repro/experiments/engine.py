@@ -1,0 +1,333 @@
+"""The sweep engine: parallel, cache-backed execution of experiment specs.
+
+The paper's evaluation is sweeps -- Table 3 parameter grids, Figure 4
+machine sizes, the Section 1 operating-range curve -- and every point is an
+independent simulation.  :class:`SweepEngine` exploits that: it executes an
+iterable of :class:`~repro.experiments.spec.ExperimentSpec` across a
+``ProcessPoolExecutor``, consults an on-disk result cache first, isolates
+per-point failures (a crashed point becomes an errored :class:`SweepPoint`
+instead of killing the sweep), and reports progress through a callback
+and/or a :class:`repro.obs.EventBus`.
+
+Determinism: each spec carries its own seed and the simulation derives all
+randomness from it (``RngFactory``), so a point's result is identical
+whether it runs serially, in a worker process, or comes from the cache --
+the property the CI parallel-smoke job asserts.
+
+Cache layout (``benchmarks/results/.cache/`` by default, override with the
+``cache_dir`` argument or ``REPRO_SWEEP_CACHE``)::
+
+    <spec content hash>-<code version prefix>.json
+        {"spec": <spec dict>, "code_version": <full hash>, "result": {...}}
+
+The key pairs the spec's content hash with a *code version* (a hash over
+the package's own source files), so editing the simulator invalidates every
+cached result without any manual bookkeeping.  Only portable specs (traffic
+expressed as a registry :class:`~repro.traffic.TrafficSpec`) are cached or
+dispatched to workers; specs holding opaque traffic callables silently run
+in-process, uncached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..nic import NifdyParams
+from ..obs import EventBus, EventKind
+from .spec import ExperimentSpec, SpecSerializationError
+
+#: Default on-disk cache location (relative to the invocation directory,
+#: which for this repo's CLI, tests, and benches is the repo root).
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_SWEEP_CACHE", "benchmarks/results/.cache")
+)
+
+_RESULT_FIELDS = (
+    "network", "nic_mode", "num_nodes", "cycles", "sent", "delivered",
+    "completed", "order_violations", "mean_network_latency",
+    "mean_total_latency", "abandoned", "stall_report",
+)
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """A hash over the package's own source files: the cache's second key.
+
+    Any edit to ``repro``'s code changes this value, invalidating every
+    cached sweep result at once.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+@dataclass
+class SweepPoint:
+    """One spec's outcome in a sweep.
+
+    The first four fields keep the pre-engine constructor shape
+    (``SweepPoint(label, params, delivered, cycles)``); the rest describe
+    how the engine obtained the result.  ``cycles`` is the *actual*
+    simulated cycle count (summed over constituent runs for aggregated
+    points), not the requested horizon, so :attr:`throughput` stays honest
+    for early-completing workloads.
+    """
+
+    label: str
+    params: Optional[NifdyParams]
+    delivered: int
+    cycles: int
+    sent: int = 0
+    completed: bool = True
+    order_violations: int = 0
+    abandoned: int = 0
+    spec_hash: Optional[str] = None
+    cached: bool = False
+    error: Optional[str] = None
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def throughput(self) -> float:
+        return 1000.0 * self.delivered / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SweepStats:
+    """What one engine (cumulatively) did: the cache-hit ledger."""
+
+    points: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.points if self.points else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "errors": self.errors,
+            "hit_rate": round(self.hit_rate, 4),
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+class ResultCache:
+    """Content-addressed JSON files: spec hash + code version -> result."""
+
+    def __init__(self, directory: Path = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+
+    def _path(self, spec: ExperimentSpec) -> Path:
+        return self.directory / f"{spec.content_hash()}-{code_version()[:12]}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[Dict]:
+        path = self._path(spec)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return doc.get("result")
+
+    def put(self, spec: ExperimentSpec, result: Dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "spec": spec.to_dict(),
+            "code_version": code_version(),
+            "result": result,
+        }
+        path = self._path(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)  # atomic: concurrent sweeps race benignly
+
+
+def _slim_result(result) -> Dict:
+    """The picklable, cacheable subset of an ExperimentResult."""
+    return {name: getattr(result, name) for name in _RESULT_FIELDS}
+
+
+def _execute_spec_dict(spec_dict: Dict) -> Dict:
+    """Worker entry point: rebuild the spec from data, run it, return the
+    slim result (or a traceback).  Takes/returns only plain data so it
+    crosses process boundaries under any start method."""
+    t0 = time.perf_counter()
+    try:
+        spec = ExperimentSpec.from_dict(spec_dict)
+        result = _execute_in_process(spec)
+    except Exception:  # noqa: BLE001 - isolation is the point
+        result = {"error": traceback.format_exc()}
+    result.setdefault("wall_s", time.perf_counter() - t0)
+    return result
+
+
+def _execute_in_process(spec: ExperimentSpec) -> Dict:
+    from .runner import run_experiment  # deferred: avoids an import cycle
+
+    t0 = time.perf_counter()
+    try:
+        result = _slim_result(run_experiment(spec))
+    except Exception:  # noqa: BLE001 - isolation is the point
+        result = {"error": traceback.format_exc()}
+    result["wall_s"] = time.perf_counter() - t0
+    return result
+
+
+def _point_from(spec: ExperimentSpec, result: Dict, *, cached: bool) -> SweepPoint:
+    label = spec.label or spec.describe()
+    wall_s = result.get("wall_s", 0.0)
+    if "error" in result:
+        return SweepPoint(
+            label, spec.nifdy_params, 0, 0, spec_hash=_safe_hash(spec),
+            completed=False, error=result["error"], wall_s=wall_s,
+        )
+    return SweepPoint(
+        label,
+        spec.nifdy_params,
+        result["delivered"],
+        result["cycles"],
+        sent=result["sent"],
+        completed=result["completed"],
+        order_violations=result["order_violations"],
+        abandoned=result["abandoned"],
+        spec_hash=_safe_hash(spec),
+        cached=cached,
+        wall_s=wall_s,
+    )
+
+
+def _safe_hash(spec: ExperimentSpec) -> Optional[str]:
+    try:
+        return spec.content_hash()
+    except SpecSerializationError:
+        return None
+
+
+class SweepEngine:
+    """Executes iterables of specs: cache first, then a process pool.
+
+    ``jobs``: worker processes (``<= 1`` runs serially in-process, which is
+    also the fallback for non-portable specs).  ``cache``: consult/populate
+    the on-disk result cache.  ``progress``: ``(done, total, point) ->
+    None`` called after every point resolves.  ``bus``: an optional
+    :class:`repro.obs.EventBus` receiving one ``sweep_point`` /
+    ``sweep_cache_hit`` / ``sweep_error`` event per point, so sweep
+    progress rides the same instrumentation rails as everything else.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: bool = True,
+        cache_dir: Optional[Path] = None,
+        progress: Optional[Callable[[int, int, SweepPoint], None]] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR) if cache else None
+        self.progress = progress
+        self.bus = bus
+        self.stats = SweepStats()
+
+    # ----------------------------------------------------------------- run
+    def run(self, specs: Iterable[ExperimentSpec]) -> List[SweepPoint]:
+        """Execute every spec; results come back in input order."""
+        specs = list(specs)
+        started = time.perf_counter()
+        total = len(specs)
+        points: List[Optional[SweepPoint]] = [None] * total
+        done = 0
+
+        def settle(index: int, point: SweepPoint) -> None:
+            nonlocal done
+            points[index] = point
+            done += 1
+            self.stats.points += 1
+            if point.error is not None:
+                self.stats.errors += 1
+            elif point.cached:
+                self.stats.cache_hits += 1
+            else:
+                self.stats.executed += 1
+            if self.bus is not None:
+                kind = (
+                    EventKind.SWEEP_ERROR if point.error is not None
+                    else EventKind.SWEEP_CACHE_HIT if point.cached
+                    else EventKind.SWEEP_POINT
+                )
+                self.bus.emit(done, kind, -1, info=point.label)
+            if self.progress is not None:
+                self.progress(done, total, point)
+
+        pending: List[int] = []  # indices that need actual execution
+        for index, spec in enumerate(specs):
+            if self.cache is not None and spec.portable:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    settle(index, _point_from(spec, hit, cached=True))
+                    continue
+            pending.append(index)
+
+        if self.jobs > 1:
+            self._run_parallel(specs, pending, settle)
+        else:
+            for index in pending:
+                self._run_one(specs[index], index, settle)
+
+        self.stats.wall_s += time.perf_counter() - started
+        return [p for p in points if p is not None]
+
+    # ------------------------------------------------------------- internals
+    def _finish_executed(self, spec: ExperimentSpec, result: Dict,
+                         index: int, settle) -> None:
+        if (
+            self.cache is not None and spec.portable and "error" not in result
+        ):
+            self.cache.put(spec, result)
+        settle(index, _point_from(spec, result, cached=False))
+
+    def _run_one(self, spec: ExperimentSpec, index: int, settle) -> None:
+        self._finish_executed(spec, _execute_in_process(spec), index, settle)
+
+    def _run_parallel(self, specs, pending, settle) -> None:
+        portable = [i for i in pending if specs[i].portable]
+        local = [i for i in pending if not specs[i].portable]
+        if portable:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(portable))) as pool:
+                futures = {
+                    i: pool.submit(_execute_spec_dict, specs[i].to_dict())
+                    for i in portable
+                }
+                for i, future in futures.items():
+                    try:
+                        result = future.result()
+                    except Exception:  # noqa: BLE001 - pool/pickling failures
+                        result = {"error": traceback.format_exc()}
+                    self._finish_executed(specs[i], result, i, settle)
+        for i in local:  # opaque traffic callables cannot cross processes
+            self._run_one(specs[i], i, settle)

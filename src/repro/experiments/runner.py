@@ -30,6 +30,7 @@ the packet, the metrics record it, and the sender's driver is notified.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -41,6 +42,7 @@ from ..nic import BufferedNIC, NifdyNIC, NifdyParams, PlainNIC, RetransmittingNi
 from ..node import CM5_TIMING, Processor, Timing, TrafficDriver
 from ..sim import Barrier, RngFactory, Simulator
 from .configs import best_params
+from .spec import ExperimentSpec
 
 NIC_MODES = ("plain", "buffered", "nifdy", "nifdy-")
 
@@ -178,35 +180,26 @@ def describe_stall(nics, processors, metrics) -> str:
     return "\n".join(lines)
 
 
-def run_experiment(
-    network: str,
-    traffic: TrafficFactory,
-    *,
-    num_nodes: int = 64,
-    active_nodes: Optional[int] = None,
-    nic_mode: str = "nifdy",
-    nifdy_params: Optional[NifdyParams] = None,
-    run_cycles: Optional[int] = None,
-    max_cycles: int = 5_000_000,
-    seed: int = 0,
-    timing: Timing = CM5_TIMING,
-    check_order: bool = True,
-    track_congestion: bool = False,
-    congestion_sample_every: int = 1000,
-    drop_prob: float = 0.0,
-    retx_timeout: int = 1000,
-    on_exhaust: str = "abandon",
-    max_retries: int = 50,
-    fault_plan: Optional[FaultPlan] = None,
-    watchdog_cycles: int = 200_000,
-    network_overrides: Optional[Dict] = None,
-    observe: Optional[Observability] = None,
-) -> ExperimentResult:
-    """Build and run one experiment.
+#: Legacy keyword arguments accepted by the deprecation shim: every
+#: :class:`ExperimentSpec` field except the two positional ones and the
+#: cosmetic label.
+_LEGACY_KWARGS = frozenset(
+    f.name for f in ExperimentSpec.__dataclass_fields__.values()
+) - {"network", "traffic", "label"}
 
-    ``run_cycles`` set: run exactly that horizon and report throughput
-    (Figures 2/3).  Unset: run until every driver is done and all sent
-    packets are delivered (C-shift/EM3D/radix), bounded by ``max_cycles``.
+
+def run_experiment(spec, traffic=None, **legacy_kwargs) -> ExperimentResult:
+    """Run one experiment described by an :class:`ExperimentSpec`.
+
+    The canonical form is ``run_experiment(spec)``.  The pre-spec form
+    ``run_experiment(network, traffic_factory, **kwargs)`` is still
+    accepted but deprecated: it emits a single :class:`DeprecationWarning`
+    and forwards to the spec path.
+
+    ``spec.run_cycles`` set: run exactly that horizon and report
+    throughput (Figures 2/3).  Unset: run until every driver is done and
+    all sent packets are delivered (C-shift/EM3D/radix), bounded by
+    ``max_cycles``.
 
     ``active_nodes`` runs the workload on only the first N nodes of a
     larger fabric (a partially-populated machine, like the paper's 32-node
@@ -226,26 +219,65 @@ def run_experiment(
     live handles (``bus``/``sampler``/``tracer``/``kernel_profile``)
     filled in for the exporters.
     """
+    if isinstance(spec, ExperimentSpec):
+        if traffic is not None or legacy_kwargs:
+            raise TypeError(
+                "run_experiment(spec) takes no further arguments; put "
+                "everything in the ExperimentSpec"
+            )
+        return _run_spec(spec)
+    if traffic is None:
+        raise TypeError(
+            "run_experiment takes an ExperimentSpec, or (legacy) a network "
+            "name plus a traffic factory"
+        )
+    unknown = set(legacy_kwargs) - _LEGACY_KWARGS
+    if unknown:
+        raise TypeError(f"unknown run_experiment argument(s): {sorted(unknown)}")
+    warnings.warn(
+        "run_experiment(network, traffic, **kwargs) is deprecated; build an "
+        "ExperimentSpec and call run_experiment(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_spec(
+        ExperimentSpec(network=spec, traffic=traffic, **legacy_kwargs)
+    )
+
+
+def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Assemble and simulate one spec (the engine's per-point work unit)."""
+    network = spec.network
+    num_nodes = spec.num_nodes
+    nic_mode = spec.nic_mode
+    run_cycles = spec.run_cycles
+    max_cycles = spec.max_cycles
+    fault_plan = spec.fault_plan
+    watchdog_cycles = spec.watchdog_cycles
+    timing = spec.resolved_timing
+    observe = spec.observe
+    traffic = spec.traffic
+
     sim = Simulator()
-    rngf = RngFactory(seed)
+    rngf = RngFactory(spec.seed)
     net = build_network(
         network,
         sim,
         num_nodes,
         rng=rngf.stream("route"),
-        drop_prob=drop_prob,
+        drop_prob=spec.drop_prob,
         drop_rng=rngf.stream("drop"),
-        **(network_overrides or {}),
+        **(spec.network_overrides or {}),
     )
-    params = nifdy_params or best_params(network)
-    lossy = drop_prob > 0.0 or fault_plan is not None
+    params = spec.nifdy_params or best_params(network)
+    lossy = spec.drop_prob > 0.0 or fault_plan is not None
     nic_factory = make_nic_factory(
-        sim, nic_mode, params, lossy=lossy, retx_timeout=retx_timeout,
-        on_exhaust=on_exhaust, max_retries=max_retries,
+        sim, nic_mode, params, lossy=lossy, retx_timeout=spec.retx_timeout,
+        on_exhaust=spec.on_exhaust, max_retries=spec.max_retries,
     )
     nics = net.attach_nics(nic_factory)
     exploit = net.delivers_in_order or nic_mode == "nifdy"
-    active = active_nodes if active_nodes is not None else num_nodes
+    active = spec.active_nodes if spec.active_nodes is not None else num_nodes
     if not 0 < active <= num_nodes:
         raise ValueError("active_nodes must be in 1..num_nodes")
     barrier = Barrier(sim, active, release_cost=timing.barrier_cost)
@@ -268,7 +300,7 @@ def run_experiment(
     ]
     metrics = MetricsCollector(
         num_nodes,
-        check_order=check_order,
+        check_order=spec.check_order,
         record_delivery_cycles=fault_plan is not None,
     )
     metrics.attach(nics, processors)
@@ -305,8 +337,8 @@ def run_experiment(
             )
             observe.sampler.start()
     tracker = None
-    if track_congestion:
-        tracker = CongestionTracker(sim, metrics, congestion_sample_every)
+    if spec.track_congestion:
+        tracker = CongestionTracker(sim, metrics, spec.congestion_sample_every)
         tracker.start()
     for proc in processors:
         proc.start()

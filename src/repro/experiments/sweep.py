@@ -1,35 +1,73 @@
-"""Parameter- and load-sweep helpers.
+"""Parameter- and load-sweep helpers, expressed as spec generators.
 
 The paper's methodology is sweeps: NIFDY parameters per network (Table 3),
 buffer/OPT sizes across machine sizes (Figure 4), offered load across the
-operating range (Section 1).  These helpers run such sweeps through
-:func:`run_experiment` and return structured results the benches (and
-users) can rank or plot.
+operating range (Section 1).  Each helper here comes in two layers:
+
+* a **spec generator** (``nifdy_param_specs`` / ``offered_load_specs`` /
+  ``machine_size_specs``) that turns the sweep description into a flat
+  list of :class:`~repro.experiments.spec.ExperimentSpec` -- pure data a
+  :class:`~repro.experiments.engine.SweepEngine` can execute in parallel
+  and cache;
+* the classic **one-call helper** (``sweep_nifdy_params`` / ...) that
+  generates the specs, runs them through an engine (a private serial,
+  uncached one by default -- pass ``engine=`` to parallelise or cache),
+  and folds the points back into the shapes the benches plot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..nic import NifdyParams
 from ..traffic import SyntheticConfig
-from .runner import run_experiment
+from .engine import SweepEngine, SweepPoint
+from .spec import ExperimentSpec
 from .workloads import heavy_synthetic, light_synthetic
 
 
-@dataclass
-class SweepPoint:
-    """One configuration's outcome in a sweep."""
+def _engine_or_default(engine: Optional[SweepEngine]) -> SweepEngine:
+    return engine if engine is not None else SweepEngine(jobs=1, cache=False)
 
-    label: str
-    params: Optional[NifdyParams]
-    delivered: int
-    cycles: int
 
-    @property
-    def throughput(self) -> float:
-        return 1000.0 * self.delivered / self.cycles if self.cycles else 0.0
+def params_label(params: NifdyParams) -> str:
+    return (
+        f"O={params.opt_size} B={params.pool_size} "
+        f"D={params.dialogs} W={params.window}"
+    )
+
+
+# ------------------------------------------------------------------ Table 3
+def nifdy_param_specs(
+    network: str,
+    grid: Iterable[NifdyParams],
+    *,
+    num_nodes: int = 64,
+    run_cycles: int = 10_000,
+    seed: int = 0,
+    combine_light_and_heavy: bool = True,
+) -> List[ExperimentSpec]:
+    """The Table-3 grid as specs: one heavy (and optionally one light)
+    fixed-horizon run per parameter set, in grid order."""
+    traffics = [heavy_synthetic()]
+    if combine_light_and_heavy:
+        traffics.append(light_synthetic())
+    specs = []
+    for params in grid:
+        for traffic in traffics:
+            specs.append(
+                ExperimentSpec(
+                    network=network,
+                    traffic=traffic,
+                    num_nodes=num_nodes,
+                    nic_mode="nifdy-",
+                    nifdy_params=params,
+                    run_cycles=run_cycles,
+                    seed=seed,
+                    label=f"{params_label(params)} [{traffic.name}]",
+                )
+            )
+    return specs
 
 
 def sweep_nifdy_params(
@@ -40,26 +78,38 @@ def sweep_nifdy_params(
     run_cycles: int = 10_000,
     seed: int = 0,
     combine_light_and_heavy: bool = True,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SweepPoint]:
     """Score NIFDY parameter sets on a network (Table 3 methodology:
     "chosen to give the best average performance with both test traffic
-    patterns").  Returns points sorted best-first."""
+    patterns").  Returns points sorted best-first; each point aggregates
+    the heavy(+light) runs for one parameter set, and ``cycles`` is the
+    summed *actual* simulated cycles (not the requested horizon), so
+    ``throughput`` stays honest for early-completing workloads."""
+    grid = list(grid)
+    specs = nifdy_param_specs(
+        network, grid, num_nodes=num_nodes, run_cycles=run_cycles, seed=seed,
+        combine_light_and_heavy=combine_light_and_heavy,
+    )
+    results = _engine_or_default(engine).run(specs)
+    per_params = 2 if combine_light_and_heavy else 1
     points = []
-    for params in grid:
-        total = 0
-        traffics = [heavy_synthetic()]
-        if combine_light_and_heavy:
-            traffics.append(light_synthetic())
-        for traffic in traffics:
-            total += run_experiment(
-                network, traffic, num_nodes=num_nodes, nic_mode="nifdy-",
-                nifdy_params=params, run_cycles=run_cycles, seed=seed,
-            ).delivered
-        label = (
-            f"O={params.opt_size} B={params.pool_size} "
-            f"D={params.dialogs} W={params.window}"
+    for i, params in enumerate(grid):
+        group = results[i * per_params:(i + 1) * per_params]
+        bad = next((p for p in group if not p.ok), None)
+        points.append(
+            SweepPoint(
+                params_label(params),
+                params,
+                sum(p.delivered for p in group),
+                sum(p.cycles for p in group),
+                sent=sum(p.sent for p in group),
+                completed=all(p.completed for p in group),
+                cached=all(p.cached for p in group),
+                error=bad.error if bad is not None else None,
+                wall_s=sum(p.wall_s for p in group),
+            )
         )
-        points.append(SweepPoint(label, params, total, run_cycles))
     points.sort(key=lambda point: point.delivered, reverse=True)
     return points
 
@@ -83,6 +133,35 @@ def default_param_grid(
     return grid
 
 
+# ---------------------------------------------------------------- Section 1
+def offered_load_specs(
+    network: str,
+    gaps: Sequence[int],
+    *,
+    nic_mode: str = "plain",
+    num_nodes: int = 64,
+    run_cycles: int = 20_000,
+    seed: int = 0,
+    nifdy_params: Optional[NifdyParams] = None,
+) -> List[ExperimentSpec]:
+    """The operating-range curve as specs (larger gap = lighter load)."""
+    return [
+        ExperimentSpec(
+            network=network,
+            traffic=heavy_synthetic(
+                SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
+            ),
+            num_nodes=num_nodes,
+            nic_mode=nic_mode,
+            nifdy_params=nifdy_params,
+            run_cycles=run_cycles,
+            seed=seed,
+            label=f"gap={gap}",
+        )
+        for gap in gaps
+    ]
+
+
 def sweep_offered_load(
     network: str,
     gaps: Sequence[int],
@@ -92,20 +171,49 @@ def sweep_offered_load(
     run_cycles: int = 20_000,
     seed: int = 0,
     nifdy_params: Optional[NifdyParams] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> List[SweepPoint]:
     """Delivered throughput vs offered load (larger gap = lighter load):
     the Section 1 operating-range curve."""
-    points = []
-    for gap in gaps:
-        cfg = SyntheticConfig.heavy_traffic(send_gap_cycles=gap)
-        result = run_experiment(
-            network, heavy_synthetic(cfg), num_nodes=num_nodes,
-            nic_mode=nic_mode, nifdy_params=nifdy_params,
-            run_cycles=run_cycles, seed=seed,
-        )
-        points.append(SweepPoint(f"gap={gap}", nifdy_params,
-                                 result.delivered, result.cycles))
-    return points
+    specs = offered_load_specs(
+        network, gaps, nic_mode=nic_mode, num_nodes=num_nodes,
+        run_cycles=run_cycles, seed=seed, nifdy_params=nifdy_params,
+    )
+    return _engine_or_default(engine).run(specs)
+
+
+# ----------------------------------------------------------------- Figure 4
+def machine_size_specs(
+    network: str,
+    sizes: Sequence[int],
+    params: NifdyParams,
+    *,
+    baseline_mode: str = "plain",
+    run_cycles: int = 10_000,
+    seed: int = 0,
+    traffic=None,
+) -> List[ExperimentSpec]:
+    """The Figure-4 scalability grid as specs: per size, one baseline run
+    then one NIFDY run (flat, in that order)."""
+    traffic = traffic or heavy_synthetic(
+        SyntheticConfig.heavy_traffic(fixed_message_length=1)
+    )
+    specs = []
+    for size in sizes:
+        for mode, nifdy in ((baseline_mode, None), ("nifdy-", params)):
+            specs.append(
+                ExperimentSpec(
+                    network=network,
+                    traffic=traffic,
+                    num_nodes=size,
+                    nic_mode=mode,
+                    nifdy_params=nifdy,
+                    run_cycles=run_cycles,
+                    seed=seed,
+                    label=f"n={size} {mode}",
+                )
+            )
+    return specs
 
 
 def sweep_machine_sizes(
@@ -117,21 +225,18 @@ def sweep_machine_sizes(
     run_cycles: int = 10_000,
     seed: int = 0,
     traffic=None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[int, Tuple[int, int, float]]:
     """(nifdy delivered, baseline delivered, normalized) per machine size --
     the Figure 4 scalability methodology."""
-    traffic = traffic or heavy_synthetic(
-        SyntheticConfig.heavy_traffic(fixed_message_length=1)
+    specs = machine_size_specs(
+        network, sizes, params, baseline_mode=baseline_mode,
+        run_cycles=run_cycles, seed=seed, traffic=traffic,
     )
+    results = _engine_or_default(engine).run(specs)
     out = {}
-    for size in sizes:
-        base = run_experiment(
-            network, traffic, num_nodes=size, nic_mode=baseline_mode,
-            run_cycles=run_cycles, seed=seed,
-        ).delivered
-        with_nifdy = run_experiment(
-            network, traffic, num_nodes=size, nic_mode="nifdy-",
-            nifdy_params=params, run_cycles=run_cycles, seed=seed,
-        ).delivered
+    for i, size in enumerate(sizes):
+        base = results[2 * i].delivered
+        with_nifdy = results[2 * i + 1].delivered
         out[size] = (with_nifdy, base, with_nifdy / base if base else 0.0)
     return out

@@ -1,81 +1,52 @@
-"""Ready-made traffic factories for the paper's workloads."""
+"""Ready-made traffic specs for the paper's workloads.
+
+Each helper returns a :class:`~repro.traffic.TrafficSpec`: still callable
+with the classic factory signature ``(node, num_nodes, rng_factory,
+exploit_inorder)``, but also plain data -- it pickles across processes,
+serialises into :class:`~repro.experiments.spec.ExperimentSpec` JSON, and
+hashes stably for the sweep engine's result cache.
+"""
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..sim import RngFactory
 from ..traffic import (
     CShiftConfig,
-    CShiftDriver,
     Em3dConfig,
-    Em3dDriver,
     HotSpotConfig,
-    HotSpotDriver,
     RadixSortConfig,
-    RadixSortDriver,
     SyntheticConfig,
-    SyntheticDriver,
+    TrafficSpec,
 )
-from .runner import TrafficFactory
 
 
-def heavy_synthetic(config: Optional[SyntheticConfig] = None) -> TrafficFactory:
+def heavy_synthetic(config: Optional[SyntheticConfig] = None) -> TrafficSpec:
     """Section 4.1 heavy traffic: all nodes send, lengths U[1,5]."""
-    cfg = config or SyntheticConfig.heavy_traffic()
-
-    def factory(node, num_nodes, rngf: RngFactory, exploit):
-        return SyntheticDriver(node, num_nodes, cfg, rngf, exploit)
-
-    return factory
+    return TrafficSpec("heavy", config)
 
 
-def light_synthetic(config: Optional[SyntheticConfig] = None) -> TrafficFactory:
+def light_synthetic(config: Optional[SyntheticConfig] = None) -> TrafficSpec:
     """Section 4.1 light traffic: 1/3 senders, long-message tail,
     non-responsive periods."""
-    cfg = config or SyntheticConfig.light_traffic()
-
-    def factory(node, num_nodes, rngf: RngFactory, exploit):
-        return SyntheticDriver(node, num_nodes, cfg, rngf, exploit)
-
-    return factory
+    return TrafficSpec("light", config)
 
 
-def cshift(config: Optional[CShiftConfig] = None) -> TrafficFactory:
+def cshift(config: Optional[CShiftConfig] = None) -> TrafficSpec:
     """Section 4.3 cyclic shift (all-to-all)."""
-    cfg = config or CShiftConfig()
-
-    def factory(node, num_nodes, rngf: RngFactory, exploit):
-        return CShiftDriver(node, num_nodes, cfg, exploit)
-
-    return factory
+    return TrafficSpec("cshift", config)
 
 
-def em3d(config: Optional[Em3dConfig] = None) -> TrafficFactory:
+def em3d(config: Optional[Em3dConfig] = None) -> TrafficSpec:
     """Section 4.4 EM3D (light- or heavy-communication parameterisation)."""
-    cfg = config or Em3dConfig.light_communication()
-
-    def factory(node, num_nodes, rngf: RngFactory, exploit):
-        return Em3dDriver(node, num_nodes, cfg, rngf, exploit)
-
-    return factory
+    return TrafficSpec("em3d", config)
 
 
-def radix_sort(config: Optional[RadixSortConfig] = None) -> TrafficFactory:
+def radix_sort(config: Optional[RadixSortConfig] = None) -> TrafficSpec:
     """Section 4.5 radix sort (scan and optional coalesce phases)."""
-    cfg = config or RadixSortConfig()
-
-    def factory(node, num_nodes, rngf: RngFactory, exploit):
-        return RadixSortDriver(node, num_nodes, cfg, rngf, exploit)
-
-    return factory
+    return TrafficSpec("radix", config)
 
 
-def hotspot(config: Optional[HotSpotConfig] = None) -> TrafficFactory:
+def hotspot(config: Optional[HotSpotConfig] = None) -> TrafficSpec:
     """Hot-spot traffic (Section 1 / Section 5's dynamic bandwidth matching)."""
-    cfg = config or HotSpotConfig()
-
-    def factory(node, num_nodes, rngf: RngFactory, exploit):
-        return HotSpotDriver(node, num_nodes, cfg, rngf, exploit)
-
-    return factory
+    return TrafficSpec("hotspot", config)

@@ -59,6 +59,11 @@ class EventKind:
     # fault injector
     FAULT_FIRE = "fault_fire"
     FAULT_REPAIR = "fault_repair"
+    # sweep engine progress (one event per resolved grid point; ``cycle``
+    # carries the points-done count, ``info`` the point's label)
+    SWEEP_POINT = "sweep_point"
+    SWEEP_CACHE_HIT = "sweep_cache_hit"
+    SWEEP_ERROR = "sweep_error"
 
     ALL = (
         INJECT, EJECT, ACCEPT, ABANDON,
@@ -66,6 +71,7 @@ class EventKind:
         ACK_CONSUMED, DIALOG_GRANT, DIALOG_DENY, DIALOG_CLOSE,
         RETRANSMIT, BACKOFF, DUPLICATE, LINK_DROP,
         ROUTER_BLOCK, FAULT_FIRE, FAULT_REPAIR,
+        SWEEP_POINT, SWEEP_CACHE_HIT, SWEEP_ERROR,
     )
 
 

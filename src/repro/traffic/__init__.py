@@ -6,6 +6,7 @@ from .hotspot import HotSpotConfig, HotSpotDriver
 from .messages import PacketFactory
 from .pairstream import PairStreamConfig, PairStreamDriver
 from .radix_sort import RadixSortConfig, RadixSortDriver
+from .registry import TrafficSpec, register_traffic, traffic_entry, traffic_names
 from .synthetic import SyntheticConfig, SyntheticDriver
 
 __all__ = [
@@ -22,4 +23,8 @@ __all__ = [
     "RadixSortDriver",
     "SyntheticConfig",
     "SyntheticDriver",
+    "TrafficSpec",
+    "register_traffic",
+    "traffic_entry",
+    "traffic_names",
 ]

@@ -160,15 +160,15 @@ class TestAutoBulk:
 
 class TestHotSpotTraffic:
     def test_hot_node_receives_the_bias(self):
-        from repro.experiments import hotspot, run_experiment
+        from repro.experiments import ExperimentSpec, hotspot, run_experiment
         from repro.traffic import HotSpotConfig
 
-        result = run_experiment(
-            "fattree",
-            hotspot(HotSpotConfig(hot_node=0, hot_fraction=0.5,
-                                  packets_per_node=30)),
+        result = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=hotspot(HotSpotConfig(hot_node=0, hot_fraction=0.5,
+                                          packets_per_node=30)),
             num_nodes=16, nic_mode="nifdy", seed=3, max_cycles=5_000_000,
-        )
+        ))
         assert result.completed
         hot = result.drivers[0].hot_received
         background = max(d.background_received for d in result.drivers)
@@ -181,21 +181,21 @@ class TestHotSpotTraffic:
             HotSpotConfig(hot_fraction=1.5)
 
     def test_send_gap_paces_offered_load(self):
-        from repro.experiments import hotspot, run_experiment
+        from repro.experiments import ExperimentSpec, hotspot, run_experiment
         from repro.traffic import HotSpotConfig
 
-        fast = run_experiment(
-            "fattree",
-            hotspot(HotSpotConfig(hot_fraction=0.0, packets_per_node=20,
-                                  send_gap_cycles=0)),
+        fast = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=hotspot(HotSpotConfig(hot_fraction=0.0, packets_per_node=20,
+                                          send_gap_cycles=0)),
             num_nodes=16, nic_mode="plain", seed=3, max_cycles=5_000_000,
-        )
-        slow = run_experiment(
-            "fattree",
-            hotspot(HotSpotConfig(hot_fraction=0.0, packets_per_node=20,
-                                  send_gap_cycles=500)),
+        ))
+        slow = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=hotspot(HotSpotConfig(hot_fraction=0.0, packets_per_node=20,
+                                          send_gap_cycles=500)),
             num_nodes=16, nic_mode="plain", seed=3, max_cycles=5_000_000,
-        )
+        ))
         assert slow.cycles > 1.5 * fast.cycles
 
 

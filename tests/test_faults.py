@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments import cshift, run_experiment
+from repro.experiments import ExperimentSpec, cshift, run_experiment
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.metrics import degradation_report
 from repro.networks import build_network
@@ -202,15 +202,15 @@ class TestLossBurst:
 class TestNodePause:
     def test_paused_receiver_stalls_then_drains(self):
         plan = FaultPlan.from_shorthand(["pause@1000-40000:node=9"])
-        res = run_experiment(
-            "fattree",
-            cshift(),
+        res = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=cshift(),
             num_nodes=16,
             nic_mode="nifdy",
             fault_plan=plan,
             max_cycles=3_000_000,
             seed=2,
-        )
+        ))
         assert res.completed
         assert res.delivered == res.sent
         assert res.abandoned == 0
@@ -227,15 +227,15 @@ class TestRunnerIntegration:
             "fail@5000-60000:link=ft:up1.0",
             "burst@5000-60000:prob=0.1",
         ])
-        res = run_experiment(
-            "fattree",
-            cshift(),
+        res = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=cshift(),
             num_nodes=16,
             nic_mode="nifdy",
             fault_plan=plan,
             max_cycles=5_000_000,
             seed=1,
-        )
+        ))
         assert res.completed, res.stall_report
         assert res.delivered == res.sent
         assert res.order_violations == 0
@@ -262,9 +262,9 @@ class TestRunnerIntegration:
         # be delivered.  The run must not raise; it either finishes with
         # abandoned packets or the watchdog stops it with a diagnosis.
         plan = FaultPlan.from_shorthand(["fail@2000:link=ft:ej9"])
-        res = run_experiment(
-            "fattree",
-            cshift(),
+        res = run_experiment(ExperimentSpec(
+            network="fattree",
+            traffic=cshift(),
             num_nodes=16,
             nic_mode="nifdy",
             fault_plan=plan,
@@ -273,7 +273,7 @@ class TestRunnerIntegration:
             max_cycles=10_000_000,
             watchdog_cycles=100_000,
             seed=3,
-        )
+        ))
         assert res.abandoned > 0
         assert res.delivered < res.sent
         # Once every sender has given up on node 9 the fabric goes

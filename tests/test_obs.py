@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.experiments import heavy_synthetic, run_experiment
+from repro.experiments import ExperimentSpec, heavy_synthetic, run_experiment
 from repro.faults import FaultPlan
 from repro.metrics import LatencyHistogram, MetricsCollector, PacketTracer
 from repro.obs import (
@@ -25,10 +25,10 @@ from repro.sim import Simulator
 
 
 def run_small(observe=None, seed=3, cycles=3000, **kw):
-    return run_experiment(
-        "fattree", heavy_synthetic(), num_nodes=16, nic_mode="nifdy",
-        run_cycles=cycles, seed=seed, observe=observe, **kw,
-    )
+    return run_experiment(ExperimentSpec(
+        network="fattree", traffic=heavy_synthetic(), num_nodes=16,
+        nic_mode="nifdy", run_cycles=cycles, seed=seed, observe=observe, **kw,
+    ))
 
 
 class TestEventBus:
@@ -170,11 +170,11 @@ class TestHookComposition:
     def test_abandon_seen_by_collector_tracer_and_bus(self):
         plan = FaultPlan.from_shorthand(["fail@200-100000:link=*"])
         observe = Observability(events=True, trace=True)
-        result = run_experiment(
-            "fattree", heavy_synthetic(), num_nodes=16, nic_mode="nifdy",
-            run_cycles=60_000, seed=3, fault_plan=plan,
+        result = run_experiment(ExperimentSpec(
+            network="fattree", traffic=heavy_synthetic(), num_nodes=16,
+            nic_mode="nifdy", run_cycles=60_000, seed=3, fault_plan=plan,
             retx_timeout=200, max_retries=3, observe=observe,
-        )
+        ))
         metrics = result.metrics
         assert metrics.abandoned > 0
         traced = [

@@ -152,13 +152,13 @@ class TestOptInvariantUnderLoad:
 
 class TestRunnerFeatures:
     def test_active_nodes_idles_the_rest(self):
-        from repro.experiments import cshift, run_experiment
+        from repro.experiments import ExperimentSpec, cshift, run_experiment
         from repro.traffic import CShiftConfig
 
-        result = run_experiment(
-            "fattree", cshift(CShiftConfig(words_per_phase=8)), num_nodes=16,
-            active_nodes=4, nic_mode="nifdy", seed=1,
-        )
+        result = run_experiment(ExperimentSpec(
+            network="fattree", traffic=cshift(CShiftConfig(words_per_phase=8)),
+            num_nodes=16, active_nodes=4, nic_mode="nifdy", seed=1,
+        ))
         assert result.completed
         # only the active nodes sent anything
         senders = [p for p in result.processors if p.packets_sent > 0]
@@ -166,35 +166,42 @@ class TestRunnerFeatures:
         assert all(p.node_id < 4 for p in senders)
 
     def test_active_nodes_validated(self):
-        from repro.experiments import heavy_synthetic, run_experiment
+        from repro.experiments import (
+            ExperimentSpec, heavy_synthetic, run_experiment,
+        )
 
         with pytest.raises(ValueError):
-            run_experiment(
-                "fattree", heavy_synthetic(), num_nodes=16, active_nodes=0,
-                run_cycles=100,
-            )
+            run_experiment(ExperimentSpec(
+                network="fattree", traffic=heavy_synthetic(), num_nodes=16,
+                active_nodes=0, run_cycles=100,
+            ))
 
     def test_network_overrides_forwarded(self):
-        from repro.experiments import heavy_synthetic, run_experiment
-
-        result = run_experiment(
-            "mesh2d", heavy_synthetic(), num_nodes=16, nic_mode="plain",
-            run_cycles=2000, network_overrides={"vcs_per_net": 2},
+        from repro.experiments import (
+            ExperimentSpec, heavy_synthetic, run_experiment,
         )
+
+        result = run_experiment(ExperimentSpec(
+            network="mesh2d", traffic=heavy_synthetic(), num_nodes=16,
+            nic_mode="plain", run_cycles=2000,
+            network_overrides={"vcs_per_net": 2},
+        ))
         assert result.delivered > 0
 
     def test_sends_identical_across_nic_modes(self):
         """Section 3's determinism guarantee, end to end: the traffic each
         node OFFERS is byte-identical whatever NIC is under test (delivery
         differs, offered load does not)."""
-        from repro.experiments import heavy_synthetic, run_experiment
+        from repro.experiments import (
+            ExperimentSpec, heavy_synthetic, run_experiment,
+        )
 
         per_mode = {}
         for mode in ("plain", "nifdy"):
-            result = run_experiment(
-                "butterfly", heavy_synthetic(), num_nodes=16, nic_mode=mode,
-                run_cycles=6000, seed=5,
-            )
+            result = run_experiment(ExperimentSpec(
+                network="butterfly", traffic=heavy_synthetic(), num_nodes=16,
+                nic_mode=mode, run_cycles=6000, seed=5,
+            ))
             drv = result.drivers[0]
             per_mode[mode] = (drv.phase, drv._sent_this_phase)
         # drivers advance deterministically; phase progress may differ by

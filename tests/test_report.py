@@ -67,12 +67,14 @@ class TestLatencyHistogram:
 
 class TestLinkUtilization:
     def _run(self):
-        from repro.experiments import heavy_synthetic, run_experiment
-
-        result = run_experiment(
-            "mesh2d", heavy_synthetic(), num_nodes=16, nic_mode="plain",
-            run_cycles=5000, seed=1,
+        from repro.experiments import (
+            ExperimentSpec, heavy_synthetic, run_experiment,
         )
+
+        result = run_experiment(ExperimentSpec(
+            network="mesh2d", traffic=heavy_synthetic(), num_nodes=16,
+            nic_mode="plain", run_cycles=5000, seed=1,
+        ))
         return result
 
     def test_report_sorted_busiest_first(self):
@@ -108,11 +110,15 @@ class TestLinkUtilization:
 
 class TestCsvExport:
     def test_round_trip(self):
-        from repro.experiments import heavy_synthetic, run_experiment
+        from repro.experiments import (
+            ExperimentSpec, heavy_synthetic, run_experiment,
+        )
 
         results = [
-            run_experiment("mesh2d", heavy_synthetic(), num_nodes=16,
-                           nic_mode=mode, run_cycles=3000, seed=1)
+            run_experiment(ExperimentSpec(
+                network="mesh2d", traffic=heavy_synthetic(), num_nodes=16,
+                nic_mode=mode, run_cycles=3000, seed=1,
+            ))
             for mode in ("plain", "nifdy")
         ]
         text = results_to_csv(results)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import (
+    ExperimentSpec,
     default_param_grid,
     run_experiment,
     heavy_synthetic,
@@ -100,10 +101,10 @@ class TestPacketTracer:
 
     def test_composes_with_metrics_hooks(self):
         """Tracer chains the collector's hooks instead of clobbering them."""
-        result = run_experiment(
-            "mesh2d", heavy_synthetic(), num_nodes=16, nic_mode="nifdy",
-            run_cycles=3000, seed=1,
-        )
+        result = run_experiment(ExperimentSpec(
+            network="mesh2d", traffic=heavy_synthetic(), num_nodes=16,
+            nic_mode="nifdy", run_cycles=3000, seed=1,
+        ))
         # attach AFTER the collector: both keep working on a fresh run
         from repro.metrics import MetricsCollector
 
