@@ -28,7 +28,12 @@ def main() -> int:
         f"fail@{FAIL_AT}-{REPAIR_AT}:link=ft:up1.0",
         f"burst@{FAIL_AT}-{REPAIR_AT}:prob=0.1",
     ])
+    # The JSON form is the same serialisation chaos reproducers use; a
+    # round-trip proves this scenario is portable as a plain artifact.
+    plan = FaultPlan.from_json(plan.to_json())
     print("16-node fat tree, C-shift workload")
+    print("fault plan (JSON, shareable):")
+    print("  " + plan.to_json(indent=2).replace("\n", "\n  "))
     print(f"  link ft:up1.0 fails at cycle {FAIL_AT:,}, repaired at {REPAIR_AT:,}")
     print(f"  10% packet loss on every link while it is down\n")
     result = run_experiment(ExperimentSpec(

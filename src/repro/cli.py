@@ -232,6 +232,7 @@ def _cmd_sweep(args) -> int:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=progress if not args.quiet else None,
+        point_timeout=args.point_timeout,
     )
     if args.kind == "params":
         grid = default_param_grid(
@@ -283,6 +284,63 @@ def _cmd_sweep(args) -> int:
         file=sys.stderr,
     )
     return 1 if stats.errors else 0
+
+
+def _cmd_chaos(args) -> int:
+    """Chaos-test the protocol, or replay a chaos reproducer.
+
+    Batch mode runs ``--trials`` seeded random fault × workload × parameter
+    trials under the invariant monitor; every failure is shrunk to a
+    minimal JSON reproducer in ``--artifact-dir`` and the command exits 1.
+    ``--replay FILE`` re-runs one reproducer deterministically: exit 0 if
+    the recorded failure reproduces, 2 if it does not.
+    """
+    # Deferred: repro.validate pulls in the whole experiments stack.
+    from .validate import ChaosConfig, ChaosEngine, replay_artifact
+
+    if args.replay:
+        reproduced, failure, detail = replay_artifact(args.replay)
+        if reproduced:
+            print(f"reproduced: {failure}")
+            print(detail)
+            return 0
+        print("did NOT reproduce "
+              f"(run classified as: {failure or 'ok'})")
+        if detail:
+            print(detail)
+        return 2
+
+    def progress(done, total, point):
+        status = "ok"
+        if point.error is not None:
+            status = "TIMEOUT" if point.timed_out else "ERROR"
+        elif point.violations:
+            status = "VIOLATION"
+        elif point.stall_report:
+            status = "STALL"
+        elif not point.completed:
+            status = "INCOMPLETE"
+        print(f"  [{done}/{total}] {point.label}: {status}", file=sys.stderr)
+
+    config = ChaosConfig(
+        trials=args.trials,
+        seed=args.seed,
+        network=args.network,
+        num_nodes=args.nodes,
+        traffics=tuple(t for t in args.traffics.split(",") if t),
+        max_faults=args.max_faults,
+        jobs=args.jobs,
+        point_timeout=args.point_timeout,
+        shrink_budget=args.shrink_budget,
+        artifact_dir=args.artifact_dir,
+    )
+    engine = ChaosEngine(config)
+    report = engine.run(progress=progress if not args.quiet else None)
+    print(report.summary())
+    for finding in report.findings:
+        print(f"  detail: {finding.detail.splitlines()[0]}")
+        print(f"  replay: python -m repro chaos --replay {finding.artifact}")
+    return 1 if report.findings else 0
 
 
 def _cmd_characterize(args) -> int:
@@ -384,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "operating range; sizes: Figure-4 machine sizes")
     sweep.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (1 = serial)")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock bound per grid point: a hung or "
+                       "crashed worker becomes an errored point instead of "
+                       "wedging the sweep (default: no bound)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="ignore and do not populate the on-disk result "
                        "cache (benchmarks/results/.cache)")
@@ -409,6 +472,44 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress on stderr")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-test the protocol invariants under random faults, "
+        "or --replay a shrunk reproducer",
+    )
+    chaos.add_argument("--trials", type=int, default=20,
+                       help="seeded random fault x workload x parameter "
+                       "trials to run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="batch seed; the whole batch is a deterministic "
+                       "function of it")
+    chaos.add_argument("--network", default="fattree",
+                       choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES)
+    chaos.add_argument("--nodes", type=int, default=16)
+    chaos.add_argument("--traffics",
+                       default="cshift,radix,hotspot,pairstream",
+                       metavar="NAME,NAME,...",
+                       help="registry traffic names to draw workloads from")
+    chaos.add_argument("--max-faults", type=int, default=3,
+                       help="fault events per trial drawn from 1..N")
+    chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the trial fan-out")
+    chaos.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock bound per trial (a wedged trial "
+                       "becomes a reported failure)")
+    chaos.add_argument("--shrink-budget", type=int, default=48,
+                       help="max simulation probes per failure when "
+                       "shrinking the reproducer")
+    chaos.add_argument("--artifact-dir", default="benchmarks/results/chaos",
+                       metavar="DIR",
+                       help="where shrunk JSON reproducers are written")
+    chaos.add_argument("--replay", default=None, metavar="FILE",
+                       help="re-run one reproducer deterministically "
+                       "(exit 0 if it reproduces, 2 if not)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress per-trial progress on stderr")
+
     for name in ("characterize", "advise"):
         cmd = sub.add_parser(name, help=f"{name} a network")
         cmd.add_argument("--network", required=True,
@@ -424,6 +525,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "chaos": _cmd_chaos,
         "characterize": _cmd_characterize,
         "advise": _cmd_advise,
     }

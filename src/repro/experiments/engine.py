@@ -36,7 +36,8 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -53,7 +54,7 @@ DEFAULT_CACHE_DIR = Path(
 _RESULT_FIELDS = (
     "network", "nic_mode", "num_nodes", "cycles", "sent", "delivered",
     "completed", "order_violations", "mean_network_latency",
-    "mean_total_latency", "abandoned", "stall_report",
+    "mean_total_latency", "abandoned", "stall_report", "violations",
 )
 
 _code_version_cache: Optional[str] = None
@@ -102,6 +103,14 @@ class SweepPoint:
     cached: bool = False
     error: Optional[str] = None
     wall_s: float = 0.0
+    stall_report: Optional[str] = None
+    #: Invariant violations (dicts from
+    #: :meth:`repro.validate.Violation.to_dict`) when the spec ran with
+    #: ``observe.validate``; empty otherwise.
+    violations: List[Dict] = field(default_factory=list)
+    #: The point hit the engine's per-point wall-clock timeout (its
+    #: ``error`` carries the diagnosis; never cached).
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -120,6 +129,7 @@ class SweepStats:
     cache_hits: int = 0
     executed: int = 0
     errors: int = 0
+    timeouts: int = 0
     wall_s: float = 0.0
 
     @property
@@ -132,6 +142,7 @@ class SweepStats:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "errors": self.errors,
+            "timeouts": self.timeouts,
             "hit_rate": round(self.hit_rate, 4),
             "wall_s": round(self.wall_s, 3),
         }
@@ -205,6 +216,7 @@ def _point_from(spec: ExperimentSpec, result: Dict, *, cached: bool) -> SweepPoi
         return SweepPoint(
             label, spec.nifdy_params, 0, 0, spec_hash=_safe_hash(spec),
             completed=False, error=result["error"], wall_s=wall_s,
+            timed_out=bool(result.get("timed_out")),
         )
     return SweepPoint(
         label,
@@ -218,6 +230,8 @@ def _point_from(spec: ExperimentSpec, result: Dict, *, cached: bool) -> SweepPoi
         spec_hash=_safe_hash(spec),
         cached=cached,
         wall_s=wall_s,
+        stall_report=result.get("stall_report"),
+        violations=list(result.get("violations") or ()),
     )
 
 
@@ -238,6 +252,14 @@ class SweepEngine:
     :class:`repro.obs.EventBus` receiving one ``sweep_point`` /
     ``sweep_cache_hit`` / ``sweep_error`` event per point, so sweep
     progress rides the same instrumentation rails as everything else.
+
+    ``point_timeout`` (seconds, default off) bounds each point's wall
+    clock: a hung or crashed worker degrades to an errored
+    :class:`SweepPoint` carrying a diagnosis (``timed_out=True``, never
+    cached) instead of wedging the sweep; points merely *queued* behind
+    the hung one are rescued into a fresh pool.  Enforcing a timeout
+    requires a worker process, so portable specs go through the pool even
+    at ``jobs=1``; non-portable specs still run in-process, untimed.
     """
 
     def __init__(
@@ -247,11 +269,13 @@ class SweepEngine:
         cache_dir: Optional[Path] = None,
         progress: Optional[Callable[[int, int, SweepPoint], None]] = None,
         bus: Optional[EventBus] = None,
+        point_timeout: Optional[float] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR) if cache else None
         self.progress = progress
         self.bus = bus
+        self.point_timeout = point_timeout
         self.stats = SweepStats()
 
     # ----------------------------------------------------------------- run
@@ -270,6 +294,8 @@ class SweepEngine:
             self.stats.points += 1
             if point.error is not None:
                 self.stats.errors += 1
+                if point.timed_out:
+                    self.stats.timeouts += 1
             elif point.cached:
                 self.stats.cache_hits += 1
             else:
@@ -286,14 +312,14 @@ class SweepEngine:
 
         pending: List[int] = []  # indices that need actual execution
         for index, spec in enumerate(specs):
-            if self.cache is not None and spec.portable:
+            if self.cache is not None and self._cacheable(spec):
                 hit = self.cache.get(spec)
                 if hit is not None:
                     settle(index, _point_from(spec, hit, cached=True))
                     continue
             pending.append(index)
 
-        if self.jobs > 1:
+        if self.jobs > 1 or self.point_timeout is not None:
             self._run_parallel(specs, pending, settle)
         else:
             for index in pending:
@@ -303,10 +329,22 @@ class SweepEngine:
         return [p for p in points if p is not None]
 
     # ------------------------------------------------------------- internals
+    @staticmethod
+    def _cacheable(spec: ExperimentSpec) -> bool:
+        """Portable AND safe to share a cache entry.  ``observe`` is
+        excluded from :meth:`~ExperimentSpec.content_hash` (instrumentation
+        does not change results), but a *validated* run's result carries
+        ``violations`` that an unvalidated run of the same spec would not --
+        so validated runs bypass the cache in both directions."""
+        if not spec.portable:
+            return False
+        return spec.observe is None or not spec.observe.validate
+
     def _finish_executed(self, spec: ExperimentSpec, result: Dict,
                          index: int, settle) -> None:
         if (
-            self.cache is not None and spec.portable and "error" not in result
+            self.cache is not None and self._cacheable(spec)
+            and "error" not in result
         ):
             self.cache.put(spec, result)
         settle(index, _point_from(spec, result, cached=False))
@@ -317,17 +355,65 @@ class SweepEngine:
     def _run_parallel(self, specs, pending, settle) -> None:
         portable = [i for i in pending if specs[i].portable]
         local = [i for i in pending if not specs[i].portable]
-        if portable:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(portable))) as pool:
-                futures = {
-                    i: pool.submit(_execute_spec_dict, specs[i].to_dict())
-                    for i in portable
-                }
-                for i, future in futures.items():
-                    try:
-                        result = future.result()
-                    except Exception:  # noqa: BLE001 - pool/pickling failures
-                        result = {"error": traceback.format_exc()}
-                    self._finish_executed(specs[i], result, i, settle)
+        while portable:
+            # Each generation settles everything except points that were
+            # still queued when a timeout forced the pool down; those are
+            # rescued into a fresh pool.  Every generation with survivors
+            # settles at least one point, so this terminates.
+            portable = self._run_pool(specs, portable, settle)
         for i in local:  # opaque traffic callables cannot cross processes
             self._run_one(specs[i], i, settle)
+
+    def _run_pool(self, specs, indices, settle) -> List[int]:
+        """One pool generation.  The first timeout settles ONLY the point
+        we were waiting on (it is provably stuck: it had the full bound);
+        every other unresolved future is rescued into the next generation,
+        because the executor's call-queue prefetch marks queued futures as
+        running, making "starved behind the hang" indistinguishable from
+        "genuinely hung" here.  A genuinely hung rescued point times out
+        again as the first-waited point of its own generation, so every
+        generation settles at least one point and the loop terminates."""
+        rescue: List[int] = []
+        hung = False
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(indices)))
+        try:
+            futures = {
+                i: pool.submit(_execute_spec_dict, specs[i].to_dict())
+                for i in indices
+            }
+            for i, future in futures.items():
+                if hung:
+                    if future.done() and not future.cancelled():
+                        try:  # finished before the hang was detected
+                            result = future.result(timeout=0)
+                        except Exception:  # noqa: BLE001
+                            result = {"error": traceback.format_exc()}
+                    else:
+                        future.cancel()
+                        rescue.append(i)
+                        continue
+                else:
+                    try:
+                        result = future.result(timeout=self.point_timeout)
+                    except FuturesTimeout:
+                        hung = True
+                        result = {
+                            "error": (
+                                f"point exceeded the {self.point_timeout}s "
+                                "wall-clock timeout (worker hung or "
+                                "crashed); worker terminated, point not "
+                                "cached"
+                            ),
+                            "timed_out": True,
+                        }
+                    except Exception:  # noqa: BLE001 - pool/pickling failures
+                        result = {"error": traceback.format_exc()}
+                self._finish_executed(specs[i], result, i, settle)
+        finally:
+            if hung:
+                # The stuck worker would otherwise block shutdown (and
+                # interpreter exit) indefinitely.
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+            pool.shutdown(wait=not hung, cancel_futures=hung)
+        return rescue

@@ -80,6 +80,10 @@ class ExperimentResult:
     mean_total_latency: float
     abandoned: int = 0
     stall_report: Optional[str] = None
+    #: Protocol-invariant breaches (as dicts) found by the
+    #: :class:`~repro.validate.InvariantMonitor` when
+    #: ``observe.validate`` was on; empty otherwise.
+    violations: List[Dict] = field(default_factory=list)
     drivers: List[TrafficDriver] = field(repr=False, default_factory=list)
     processors: List[Processor] = field(repr=False, default_factory=list)
     nics: List = field(repr=False, default_factory=list)
@@ -322,9 +326,19 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
     if observe is not None and observe.enabled:
         if observe.profile:
             observe.kernel_profile = sim.enable_profiling()
-        if observe.events:
+        if observe.events or observe.validate:
             observe.bus = EventBus(keep_events=observe.keep_events)
             observe.bus.attach(nics, net.links, net.routers, injector)
+        if observe.validate:
+            # Deferred import: repro.validate sits above the experiments
+            # layer (its chaos engine drives the SweepEngine).
+            from ..validate.invariants import InvariantMonitor
+
+            observe.monitor = InvariantMonitor(
+                check_order=spec.check_order
+                and (net.delivers_in_order or nics[0].guarantees_order),
+                strict=observe.validate_strict,
+            ).attach(observe.bus, nics)
         if observe.trace:
             # Attach AFTER the collector and the abandon rewiring so the
             # tracer chains (not replaces) the accounting hooks.
@@ -378,6 +392,15 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
         tracker.stop()
     if observe is not None and observe.sampler is not None:
         observe.sampler.stop()
+    violations: List[Dict] = []
+    if observe is not None and observe.monitor is not None:
+        # The no-silent-loss check only makes sense for a completed
+        # run-to-completion workload: fixed-horizon and stalled/truncated
+        # runs legitimately end with packets in flight.
+        observe.monitor.finish(
+            check_loss=completed and run_cycles is None, cycle=sim.now,
+        )
+        violations = [v.to_dict() for v in observe.monitor.violations]
 
     return ExperimentResult(
         network=net.name,
@@ -392,6 +415,7 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
         mean_total_latency=metrics.total_latency.mean,
         abandoned=metrics.abandoned,
         stall_report=stall_report,
+        violations=violations,
         drivers=drivers,
         processors=processors,
         nics=nics,

@@ -27,7 +27,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..faults import FaultEvent, FaultPlan
+from ..faults import FaultPlan
 from ..nic import NifdyParams
 from ..node import CM5_TIMING, Timing
 from ..obs import Observability
@@ -142,7 +142,7 @@ class ExperimentSpec:
             "on_exhaust": self.on_exhaust,
             "max_retries": self.max_retries,
             "fault_plan": None if self.fault_plan is None
-            else {"events": [dataclasses.asdict(e) for e in self.fault_plan]},
+            else self.fault_plan.to_dict(),
             "watchdog_cycles": self.watchdog_cycles,
             "network_overrides": None if self.network_overrides is None
             else dict(self.network_overrides),
@@ -153,6 +153,8 @@ class ExperimentSpec:
                 "trace": self.observe.trace,
                 "trace_max_packets": self.observe.trace_max_packets,
                 "profile": self.observe.profile,
+                "validate": self.observe.validate,
+                "validate_strict": self.observe.validate_strict,
             },
             "label": self.label,
         }
@@ -166,9 +168,7 @@ class ExperimentSpec:
         if kwargs.get("timing") is not None:
             kwargs["timing"] = Timing(**kwargs["timing"])
         if kwargs.get("fault_plan") is not None:
-            kwargs["fault_plan"] = FaultPlan(
-                [FaultEvent(**e) for e in kwargs["fault_plan"]["events"]]
-            )
+            kwargs["fault_plan"] = FaultPlan.from_dict(kwargs["fault_plan"])
         if kwargs.get("observe") is not None:
             kwargs["observe"] = Observability(**kwargs["observe"])
         return cls(**kwargs)

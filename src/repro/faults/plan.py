@@ -30,6 +30,7 @@ built network.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -124,6 +125,12 @@ class FaultEvent:
             )
         return f"pause node {self.node} @{self.at}-{self.until}"
 
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict:
+        """JSON-able form; inverse of :meth:`from_dict`.  Defaulted fields
+        are kept so the artifact is self-describing."""
+        return dataclasses.asdict(self)
+
     # ------------------------------------------------------------- parsing
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultEvent":
@@ -198,6 +205,19 @@ class FaultPlan:
     def add(self, event: FaultEvent) -> "FaultPlan":
         self.events.append(event)
         return self
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict:
+        """JSON-able form; the one serialisation shared by spec files,
+        chaos repro artifacts, and ``examples/fault_scenario.py``."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------ loading
     @classmethod

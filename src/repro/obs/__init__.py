@@ -45,17 +45,27 @@ class Observability:
     trace_max_packets: int = 200_000
     #: Time the event loop: events/sec + per-handler wall clock.
     profile: bool = False
+    #: Attach a :class:`repro.validate.InvariantMonitor` that checks the
+    #: protocol's guarantees (exactly-once, in-order, resource bounds, no
+    #: silent loss) live and at end-of-run; violations come back as
+    #: ``result.violations`` / ``observe.monitor.violations``.
+    validate: bool = False
+    #: ``validate`` escalation: raise :class:`repro.validate.
+    #: InvariantViolation` at the offending cycle instead of collecting.
+    validate_strict: bool = False
 
     # ---- live handles, filled by the runner --------------------------------
     bus: Optional[EventBus] = field(default=None, repr=False)
     sampler: Optional[StateSampler] = field(default=None, repr=False)
     tracer: Optional[object] = field(default=None, repr=False)  # PacketTracer
     kernel_profile: Optional[object] = field(default=None, repr=False)
+    monitor: Optional[object] = field(default=None, repr=False)  # InvariantMonitor
 
     @property
     def enabled(self) -> bool:
         return bool(
-            self.events or self.sample_interval or self.trace or self.profile
+            self.events or self.sample_interval or self.trace
+            or self.profile or self.validate
         )
 
 

@@ -78,7 +78,10 @@ class EventKind:
 class ObsEvent(NamedTuple):
     """One instrumentation record.  ``node`` is the emitting component's
     node id (or -1 for fabric-level emitters like links and the injector);
-    ``uid``/``src``/``dst`` identify the packet when one is involved."""
+    ``uid``/``src``/``dst`` identify the packet when one is involved and
+    ``seq`` carries its per-(src, dst) send order (``Packet.pair_seq``, -1
+    when the workload does not stamp one) so order invariants can be checked
+    from the event stream alone."""
 
     cycle: int
     kind: str
@@ -87,6 +90,7 @@ class ObsEvent(NamedTuple):
     src: int = -1
     dst: int = -1
     info: Optional[str] = None
+    seq: int = -1
 
 
 class EventBus:
@@ -116,12 +120,13 @@ class EventBus:
         src: int = -1,
         dst: int = -1,
         info: Optional[str] = None,
+        seq: int = -1,
     ) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         subs = self._subs.get(kind)
         if not (subs or self._wildcard or self.keep_events):
             return
-        event = ObsEvent(cycle, kind, node, uid, src, dst, info)
+        event = ObsEvent(cycle, kind, node, uid, src, dst, info, seq)
         if self.keep_events:
             if len(self.events) < self.keep_events:
                 self.events.append(event)
@@ -135,7 +140,10 @@ class EventBus:
 
     def emit_packet(self, cycle: int, kind: str, node: int, packet) -> None:
         """Emission helper for the common packet-carrying case."""
-        self.emit(cycle, kind, node, packet.uid, packet.src, packet.dst)
+        self.emit(
+            cycle, kind, node, packet.uid, packet.src, packet.dst,
+            seq=packet.pair_seq,
+        )
 
     # ------------------------------------------------------- subscription
     def subscribe(

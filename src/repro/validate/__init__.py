@@ -1,0 +1,50 @@
+"""``repro.validate``: machine-checked guarantees + adversarial search.
+
+Two halves.  :mod:`~repro.validate.invariants` is the
+:class:`InvariantMonitor` -- a pure observer on the :mod:`repro.obs` event
+bus that verifies the protocol's guarantees (exactly-once, in-order,
+resource bounds O/B/D/W, ack conservation, no silent loss) on every run
+it is attached to, via ``Observability(validate=True)``.
+:mod:`~repro.validate.chaos` is the :class:`ChaosEngine` -- a seeded
+random search over fault plan × workload × NIFDY parameters that runs
+each trial under the monitor, and shrinks any failure (delta-debugging
+the fault plan, then the traffic) to a minimal JSON reproducer for
+``repro chaos --replay``.
+
+This package sits ABOVE ``repro.experiments`` (the chaos engine drives
+the SweepEngine), which is why the runner imports the monitor lazily.
+"""
+
+from .chaos import (
+    ChaosConfig,
+    ChaosEngine,
+    ChaosFinding,
+    ChaosReport,
+    classify_point,
+    classify_result,
+    replay_artifact,
+    shrink_fault_plan,
+    shrink_traffic_config,
+)
+from .invariants import (
+    INVARIANTS,
+    InvariantMonitor,
+    InvariantViolation,
+    Violation,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosFinding",
+    "ChaosReport",
+    "INVARIANTS",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Violation",
+    "classify_point",
+    "classify_result",
+    "replay_artifact",
+    "shrink_fault_plan",
+    "shrink_traffic_config",
+]

@@ -1,0 +1,295 @@
+"""Machine-checked protocol invariants: the guarantees, continuously verified.
+
+NIFDY's value proposition (Sections 2 and 6.2 of the paper) is a short list
+of *guarantees* delivered with *bounded resources*: every packet handed to
+the NIC is delivered to the destination processor exactly once and in
+per-(src, dst) send order, using at most O outstanding-packet-table entries,
+B pool buffers, D concurrent receiver dialogs, and W reorder buffers per
+dialog -- and on a lossy network nothing is ever lost *silently* (a packet
+is delivered, or its sender is explicitly told it was abandoned).  The
+example-based tests spot-check those claims; the :class:`InvariantMonitor`
+checks them on **every** run it is attached to, live (as events stream past
+on the :class:`~repro.obs.EventBus`) and again at end-of-run (conservation
+and liveness properties that only settle when the run does).
+
+The monitor is a pure observer: it subscribes to the bus and *reads* NIC
+state, never mutates it, so a monitored run delivers the same packets at the
+same cycles as an unmonitored one -- and a run without ``observe=`` keeps
+the ``obs=None`` fast path untouched.
+
+Invariants checked
+==================
+
+``exactly_once``      an ``accept`` event fires at most once per packet uid
+``in_order``          per-(src, dst) ``pair_seq`` at accept is increasing
+                      (only when the NIC/topology guarantees order)
+``opt_bound``         OPT occupancy never exceeds O
+``pool_bound``        pool occupancy never exceeds B
+``dialog_bound``      concurrent receiver dialogs never exceed D
+``window_bound``      per-dialog reorder buffering never exceeds W
+``ack_conservation``  acks consumed never exceed acks generated (end-of-run)
+``no_silent_loss``    every injected packet is eventually accepted or
+                      explicitly abandoned (end-of-run, completed runs only)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs.events import EventBus, EventKind, ObsEvent
+
+#: Every invariant the monitor can flag, in reporting order.
+INVARIANTS = (
+    "exactly_once",
+    "in_order",
+    "opt_bound",
+    "pool_bound",
+    "dialog_bound",
+    "window_bound",
+    "ack_conservation",
+    "no_silent_loss",
+)
+
+
+@dataclass
+class Violation:
+    """One observed breach of a protocol invariant.
+
+    ``cycle``/``node`` locate it in the run; ``uid``/``src``/``dst`` name
+    the packet when one is involved; ``detail`` is the human-readable
+    diagnosis including the relevant node state; ``event`` is the bus event
+    that exposed it (None for end-of-run checks).
+    """
+
+    invariant: str
+    cycle: int
+    node: int
+    detail: str
+    uid: int = -1
+    src: int = -1
+    dst: int = -1
+    event: Optional[ObsEvent] = dataclasses.field(default=None, compare=False)
+
+    def describe(self) -> str:
+        where = f"node {self.node}" if self.node >= 0 else "run"
+        packet = f" packet#{self.uid}" if self.uid >= 0 else ""
+        return (
+            f"[{self.invariant}] @{self.cycle} {where}{packet}: {self.detail}"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-able form (the shape chaos repro artifacts carry)."""
+        return {
+            "invariant": self.invariant,
+            "cycle": self.cycle,
+            "node": self.node,
+            "uid": self.uid,
+            "src": self.src,
+            "dst": self.dst,
+            "detail": self.detail,
+        }
+
+
+class InvariantViolation(RuntimeError):
+    """Raised (strict mode) the moment an invariant breaks, carrying the
+    structured :class:`Violation` so handlers can act on more than a
+    string."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(violation.describe())
+        self.violation = violation
+
+
+class InvariantMonitor:
+    """Checks the protocol guarantees against a live run.
+
+    Attach with :meth:`attach` (wildcard-subscribes to the bus and keeps
+    read-only NIC references for the resource-bound checks), then call
+    :meth:`finish` once the run ends for the conservation/liveness checks.
+    ``strict=True`` raises :class:`InvariantViolation` at the offending
+    event; the default collects into :attr:`violations` (bounded by
+    ``max_violations``; persistent state breaches are reported once per
+    (invariant, node), not once per event).
+    """
+
+    def __init__(
+        self,
+        check_order: bool = True,
+        strict: bool = False,
+        max_violations: int = 100,
+    ):
+        self.check_order = check_order
+        self.strict = strict
+        self.max_violations = max_violations
+        self.violations: List[Violation] = []
+        self.dropped_violations = 0
+        self.events_checked = 0
+        self._nics: List = []
+        self._accepted: Dict[int, int] = {}        # uid -> accept cycle
+        self._abandoned: Set[int] = set()
+        self._injected: Dict[int, Tuple[int, int, int]] = {}  # uid -> (cyc, src, dst)
+        self._last_seq: Dict[Tuple[int, int], int] = {}
+        self._flagged: Set[Tuple[str, int]] = set()  # dedup for state breaches
+        self._finished = False
+
+    # ------------------------------------------------------------- wiring
+    def attach(self, bus: EventBus, nics: Sequence = ()) -> "InvariantMonitor":
+        bus.subscribe(None, self.on_event)
+        self._nics = list(nics)
+        return self
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"invariants ok ({self.events_checked:,} events checked)"
+            )
+        lines = [
+            f"{len(self.violations)} invariant violation(s) over "
+            f"{self.events_checked:,} events:"
+        ]
+        lines += [f"  {v.describe()}" for v in self.violations[:10]]
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+    # ---------------------------------------------------------- recording
+    def _flag(self, violation: Violation, once_key: Optional[Tuple] = None) -> None:
+        if once_key is not None:
+            if once_key in self._flagged:
+                return
+            self._flagged.add(once_key)
+        if len(self.violations) < self.max_violations:
+            self.violations.append(violation)
+        else:
+            self.dropped_violations += 1
+        if self.strict:
+            raise InvariantViolation(violation)
+
+    # ------------------------------------------------------- event checks
+    def on_event(self, event: ObsEvent) -> None:
+        self.events_checked += 1
+        kind = event.kind
+        if kind == EventKind.INJECT:
+            self._injected.setdefault(
+                event.uid, (event.cycle, event.src, event.dst)
+            )
+        elif kind == EventKind.ACCEPT:
+            self._check_accept(event)
+        elif kind == EventKind.ABANDON:
+            self._abandoned.add(event.uid)
+        if 0 <= event.node < len(self._nics):
+            self._check_node_state(self._nics[event.node], event)
+
+    def _check_accept(self, event: ObsEvent) -> None:
+        previous = self._accepted.get(event.uid)
+        if previous is not None:
+            self._flag(Violation(
+                "exactly_once", event.cycle, event.node,
+                f"packet accepted again (first accept @{previous})",
+                uid=event.uid, src=event.src, dst=event.dst, event=event,
+            ))
+            return
+        self._accepted[event.uid] = event.cycle
+        if not self.check_order or event.seq < 0:
+            return
+        key = (event.src, event.dst)
+        last = self._last_seq.get(key, -1)
+        if event.seq <= last:
+            self._flag(Violation(
+                "in_order", event.cycle, event.node,
+                f"pair_seq {event.seq} accepted after {last} "
+                f"for {event.src}->{event.dst}",
+                uid=event.uid, src=event.src, dst=event.dst, event=event,
+            ))
+        else:
+            self._last_seq[key] = event.seq
+
+    # ----------------------------------------------------- resource bounds
+    def _check_node_state(self, nic, event: Optional[ObsEvent]) -> None:
+        """Resource-bound invariants on one NIC, read-only.
+
+        Duck-typed like the :class:`~repro.obs.sampler.StateSampler`: NICs
+        without a pool/OPT (plain, buffered) have no bound to check.
+        """
+        cycle = event.cycle if event is not None else -1
+        node = getattr(nic, "node_id", -1)
+        params = getattr(nic, "params", None)
+        if params is None:
+            return
+        opt = getattr(nic, "opt", None)
+        if opt is not None and len(opt) > params.opt_size:
+            self._flag(Violation(
+                "opt_bound", cycle, node,
+                f"OPT holds {len(opt)} destinations, O={params.opt_size}",
+                event=event,
+            ), once_key=("opt_bound", node))
+        pool = getattr(nic, "pool", None)
+        if pool is not None and len(pool) > params.pool_size:
+            self._flag(Violation(
+                "pool_bound", cycle, node,
+                f"pool holds {len(pool)} packets, B={params.pool_size}",
+                event=event,
+            ), once_key=("pool_bound", node))
+        dialogs = getattr(nic, "_rx_dialogs", None)
+        if dialogs is not None:
+            if len(dialogs) > params.dialogs:
+                self._flag(Violation(
+                    "dialog_bound", cycle, node,
+                    f"{len(dialogs)} concurrent dialogs, D={params.dialogs}",
+                    event=event,
+                ), once_key=("dialog_bound", node))
+            for dialog in dialogs.values():
+                if len(dialog.buffers) > dialog.window:
+                    self._flag(Violation(
+                        "window_bound", cycle, node,
+                        f"dialog #{dialog.dialog} from {dialog.src} buffers "
+                        f"{len(dialog.buffers)} packets, W={dialog.window}",
+                        src=dialog.src, event=event,
+                    ), once_key=("window_bound", node, dialog.dialog))
+
+    # --------------------------------------------------- end-of-run checks
+    def finish(self, check_loss: bool = True, cycle: int = -1) -> List[Violation]:
+        """Run the checks that only settle when the run does.
+
+        ``check_loss=False`` skips ``no_silent_loss`` -- correct for
+        fixed-horizon or incomplete runs, where in-flight packets at the
+        final cycle are expected, not lost.  Idempotent; returns all
+        violations collected over the monitor's lifetime.
+        """
+        if self._finished:
+            return self.violations
+        self._finished = True
+        for nic in self._nics:
+            self._check_node_state(nic, None)
+        acks_sent = sum(getattr(nic, "acks_sent", 0) for nic in self._nics)
+        acks_received = sum(
+            getattr(nic, "acks_received", 0) for nic in self._nics
+        )
+        if self._nics and acks_received > acks_sent:
+            self._flag(Violation(
+                "ack_conservation", cycle, -1,
+                f"{acks_received} acks consumed but only {acks_sent} "
+                "generated: acks materialised from nowhere",
+            ))
+        if check_loss:
+            lost = [
+                (uid, meta) for uid, meta in self._injected.items()
+                if uid not in self._accepted and uid not in self._abandoned
+            ]
+            for uid, (inj_cycle, src, dst) in sorted(lost):
+                self._flag(Violation(
+                    "no_silent_loss", cycle, -1,
+                    f"injected @{inj_cycle}, never accepted nor abandoned",
+                    uid=uid, src=src, dst=dst,
+                ))
+        return self.violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"<InvariantMonitor {state}, {self.events_checked} events>"

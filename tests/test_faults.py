@@ -65,6 +65,29 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="cycle"):
             FaultEvent.from_shorthand("fail@soon:link=x")
 
+    def test_json_round_trip(self):
+        # One serialisation for everything: chaos repro artifacts, spec
+        # files, and examples/fault_scenario.py all go through
+        # to_json/from_json, so a plan must survive the trip exactly.
+        plan = FaultPlan.from_shorthand([
+            "fail@5000-20000:link=ft:up0.0",
+            "repair@30000:link=ft:up0.1",
+            "burst@5000-20000:prob=0.1,net=ack",
+            "burst@100-900:prob=0.4",
+            "pause@1000-4000:node=3",
+        ])
+        back = FaultPlan.from_json(plan.to_json())
+        assert back.events == plan.events
+        # The dict form feeds json.dumps directly (no dataclasses left).
+        assert json.loads(plan.to_json()) == plan.to_dict()
+        # And the file-loading path accepts the very same document.
+        assert FaultPlan.from_dict(plan.to_dict()).events == plan.events
+
+    def test_event_to_dict_round_trip(self):
+        event = FaultEvent(kind="loss_burst", at=10, until=99, prob=0.25,
+                           net="data", link="ft:ej*")
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
     def test_unmatched_pattern_rejected_at_start(self):
         sim = Simulator()
         net = build_network("mesh2d", sim, 16, rng=RngFactory(0).stream("route"))

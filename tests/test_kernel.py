@@ -95,6 +95,31 @@ def test_cancel_is_idempotent():
     sim.run()
 
 
+def test_double_cancel_decrements_live_count_once():
+    # A second cancel must be a pure no-op: were it to decrement the
+    # kernel's live-event count again, pending_events() would go negative
+    # and quiescence detection would lie.
+    sim = Simulator()
+    keep = sim.schedule(5, lambda: None)
+    drop = sim.schedule(6, lambda: None)
+    drop.cancel()
+    drop.cancel()
+    drop.cancel()
+    assert sim.pending_events() == 1
+    keep.cancel()
+    assert sim.pending_events() == 0
+
+
+def test_cancel_after_firing_is_noop():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(3, log.append, "fired")
+    sim.run()
+    assert log == ["fired"]
+    event.cancel()  # already fired: must not touch the live count
+    assert sim.pending_events() == 0
+
+
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(ValueError):

@@ -266,6 +266,42 @@ class TestSweepEngine:
         assert seen == [EventKind.SWEEP_POINT, EventKind.SWEEP_CACHE_HIT]
 
 
+class TestPointTimeout:
+    """The per-point wall-clock bound: hung workers degrade, not wedge."""
+
+    def test_hung_point_degrades_to_errored(self, tmp_path):
+        # A 500M-cycle horizon takes minutes; the 1s bound must kill it.
+        slow = small_spec(run_cycles=500_000_000, label="slow")
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path, point_timeout=1.0)
+        (point,) = engine.run([slow])
+        assert point.error is not None and point.timed_out
+        assert "timeout" in point.error
+        assert not point.ok and not point.completed
+        assert engine.stats.timeouts == 1 and engine.stats.errors == 1
+        assert not list(tmp_path.glob("*.json"))  # never cache a timeout
+
+    def test_points_starved_behind_a_hang_are_rescued(self, tmp_path):
+        slow = small_spec(run_cycles=500_000_000, label="slow")
+        quick = small_spec(label="quick")
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path, point_timeout=2.0)
+        points = engine.run([slow, quick])
+        assert [p.label for p in points] == ["slow", "quick"]
+        assert points[0].timed_out
+        # quick was only queued behind the hang: it must re-run in a fresh
+        # pool and succeed, not inherit the timeout verdict.
+        assert points[1].ok and points[1].delivered > 0 and not points[1].timed_out
+
+    def test_timed_engine_matches_untimed_results(self, tmp_path):
+        spec = small_spec()
+        untimed = SweepEngine(jobs=1, cache=False).run([spec])[0]
+        timed = SweepEngine(
+            jobs=1, cache=False, point_timeout=120.0,
+        ).run([spec])[0]
+        assert (timed.delivered, timed.cycles, timed.sent) == (
+            untimed.delivered, untimed.cycles, untimed.sent,
+        )
+
+
 class TestSweepHelpers:
     def test_sweep_cycles_are_actual_not_requested(self):
         """A completion-bounded point records the simulated cycle count."""
