@@ -119,6 +119,15 @@ def pytest_sessionfinish(session, exitstatus):
             continue
     if benches:
         summary = {"bench_count": len(benches), "benches": benches}
+        # Surface the kernel throughput numbers at the top level so trend
+        # tooling reads events/sec without digging through bench internals.
+        kernel = (
+            benches.get("test_kernel_events_per_sec", {})
+            .get("data", {})
+            .get("kernel_perf")
+        )
+        if kernel is not None:
+            summary["kernel"] = kernel
         (RESULTS_DIR / SUMMARY_NAME).write_text(
             json.dumps(summary, indent=2) + "\n"
         )

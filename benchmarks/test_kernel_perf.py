@@ -1,0 +1,71 @@
+"""Event-kernel throughput bench: bucket scheduler vs the heap baseline.
+
+Runs the fixed-seed reference workload (heavy traffic on a fat tree, the
+same one ``repro perf`` uses) under both schedulers with kernel
+self-profiling on, records events/sec for each, and asserts the two runs'
+full metrics JSON is byte-identical.  Parity is the only assertion: raw
+speed depends on the host, so recording it (into ``BENCH_summary.json``,
+under the top-level ``kernel`` key) is the job; failing on it is not.
+"""
+
+import json
+
+from conftest import BENCH_CYCLES, BENCH_SEED
+
+from repro.experiments import perf_reference_spec, run_experiment
+from repro.obs import metrics_json
+
+NODES = 64
+
+
+def test_kernel_events_per_sec(report):
+    rows = {}
+    for kernel in ("heap", "bucket"):
+        spec = perf_reference_spec(
+            num_nodes=NODES,
+            run_cycles=BENCH_CYCLES,
+            seed=BENCH_SEED,
+            kernel=kernel,
+        )
+        result = run_experiment(spec)
+        profile = result.obs.kernel_profile
+        metrics = metrics_json(result)
+        metrics.pop("self_profile", None)  # wall-clock, differs every run
+        rows[kernel] = {
+            "events": profile.events,
+            "loop_seconds": round(profile.loop_seconds, 4),
+            "events_per_sec": round(profile.events_per_sec, 1),
+            "delivered": result.delivered,
+            "canon": json.dumps(metrics, sort_keys=True),
+        }
+        report.line(
+            f"{kernel:7s} events={profile.events:>9,}  "
+            f"loop={profile.loop_seconds:6.2f}s  "
+            f"events/sec={profile.events_per_sec:>10,.0f}"
+        )
+
+    parity_ok = rows["heap"]["canon"] == rows["bucket"]["canon"]
+    speedup = (
+        rows["bucket"]["events_per_sec"] / rows["heap"]["events_per_sec"]
+        if rows["heap"]["events_per_sec"] else 0.0
+    )
+    report.line(f"parity : {'ok' if parity_ok else 'MISMATCH'}")
+    report.line(f"speedup: {speedup:.2f}x (bucket vs heap)")
+
+    report.record("kernel_perf", {
+        "workload": {
+            "network": "fattree", "nodes": NODES,
+            "cycles": BENCH_CYCLES, "seed": BENCH_SEED,
+        },
+        "kernels": {
+            k: {key: v for key, v in row.items() if key != "canon"}
+            for k, row in rows.items()
+        },
+        "speedup": round(speedup, 3),
+        "parity_ok": parity_ok,
+    })
+
+    assert parity_ok, (
+        "bucket and heap schedulers diverged on the reference workload "
+        "(metrics JSON not byte-identical)"
+    )

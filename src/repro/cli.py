@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --network mesh2d --kind load --gaps 800,200,0
     python -m repro characterize --network mesh2d
     python -m repro advise --network cm5
+    python -m repro perf
 
 ``run`` prints the same metrics the benchmark suite reports (packets
 delivered, throughput, latency percentiles, ordering); ``sweep`` runs a
@@ -50,6 +51,7 @@ from .experiments import (
     heavy_synthetic,
     hotspot,
     light_synthetic,
+    perf_reference_spec,
     radix_sort,
     run_experiment,
     sweep_machine_sizes,
@@ -59,6 +61,7 @@ from .experiments import (
 from .networks import EXTENSION_NETWORK_NAMES, NETWORK_NAMES
 from .nic import NifdyParams
 from .obs import Observability, chrome_trace, metrics_json, write_json
+from .sim import SCHEDULERS
 
 TRAFFIC_CHOICES = ("heavy", "light", "cshift", "em3d", "radix", "hotspot")
 NIC_CHOICES = ("plain", "buffered", "nifdy", "nifdy-")
@@ -141,6 +144,7 @@ def _cmd_run(args) -> int:
         max_retries=args.max_retries,
         fault_plan=plan,
         watchdog_cycles=args.watchdog,
+        kernel=args.kernel,
         observe=observe,
     ))
     hist = result.metrics.network_latency
@@ -343,6 +347,85 @@ def _cmd_chaos(args) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_perf(args) -> int:
+    """Benchmark the event kernel on the fixed reference workload.
+
+    Runs the :func:`~repro.experiments.perf_reference_spec` workload under
+    the requested scheduler(s) with self-profiling on and prints an
+    events-per-second table.  With ``--kernel both`` (the default) it also
+    diffs the two runs' full metrics JSON byte-for-byte; a mismatch is the
+    only failure -- raw speed never is, so the CI perf-smoke job stays
+    immune to noisy runners while the recorded numbers remain comparable
+    across commits (same workload, same seed).
+    """
+    kernels = list(SCHEDULERS) if args.kernel == "both" else [args.kernel]
+    rows = {}
+    for kernel in kernels:
+        spec = perf_reference_spec(
+            network=args.network,
+            num_nodes=args.nodes,
+            run_cycles=args.cycles,
+            seed=args.seed,
+            kernel=kernel,
+        )
+        result = run_experiment(spec)
+        profile = result.obs.kernel_profile
+        metrics = metrics_json(result)
+        # Wall-clock self-profile differs every run by construction;
+        # everything else must be bit-identical across kernels.
+        metrics.pop("self_profile", None)
+        rows[kernel] = {
+            "events": profile.events,
+            "loop_seconds": profile.loop_seconds,
+            "events_per_sec": profile.events_per_sec,
+            "delivered": result.delivered,
+            "canonical_metrics": json_dumps_canonical(metrics),
+        }
+
+    print(f"kernel perf: {args.network} n={args.nodes} heavy traffic, "
+          f"{args.cycles:,} cycles, seed {args.seed}")
+    for kernel in kernels:
+        row = rows[kernel]
+        print(f"  {kernel:7s} events={row['events']:>9,}  "
+              f"loop={row['loop_seconds']:6.2f}s  "
+              f"events/sec={row['events_per_sec']:>10,.0f}")
+
+    parity_ok = True
+    if len(kernels) == 2:
+        a, b = (rows[k] for k in kernels)
+        parity_ok = a["canonical_metrics"] == b["canonical_metrics"]
+        speedup = (
+            a["events_per_sec"] and b["events_per_sec"]
+            and rows["bucket"]["events_per_sec"] / rows["heap"]["events_per_sec"]
+        )
+        print(f"  parity : {'ok (metrics byte-identical)' if parity_ok else 'MISMATCH'}")
+        if speedup:
+            print(f"  speedup: {speedup:.2f}x (bucket vs heap)")
+
+    if args.json:
+        payload = {
+            "workload": {
+                "network": args.network, "nodes": args.nodes,
+                "cycles": args.cycles, "seed": args.seed,
+            },
+            "kernels": {
+                k: {key: v for key, v in row.items()
+                    if key != "canonical_metrics"}
+                for k, row in rows.items()
+            },
+            "parity_ok": parity_ok,
+        }
+        write_json(args.json, payload)
+        print(f"  json   : {args.json}")
+    return 0 if parity_ok else 1
+
+
+def json_dumps_canonical(payload) -> str:
+    import json
+
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def _cmd_characterize(args) -> int:
     row = characterize(args.network, args.nodes)
     print(f"network   : {row.name}")
@@ -425,6 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="print simulator self-profiling "
                      "(events/sec, per-handler wall-clock)")
+    run.add_argument("--kernel", default="bucket", choices=SCHEDULERS,
+                     help="event-queue implementation (results are "
+                     "bit-identical; 'heap' is the slow reference)")
     run.add_argument("--opt", type=int, default=None, help="NIFDY O")
     run.add_argument("--pool", type=int, default=None, help="NIFDY B")
     run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")
@@ -510,6 +596,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress per-trial progress on stderr")
 
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark the event kernel (bucket vs heap) on the fixed "
+        "reference workload; fails only on a parity mismatch",
+    )
+    perf.add_argument("--network", default="fattree",
+                      choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES)
+    perf.add_argument("--nodes", type=int, default=64)
+    perf.add_argument("--cycles", type=int, default=20_000,
+                      help="measurement window (heavy synthetic traffic)")
+    perf.add_argument("--seed", type=int, default=11)
+    perf.add_argument("--kernel", default="both",
+                      choices=("both",) + SCHEDULERS,
+                      help="which scheduler(s) to run; 'both' also "
+                      "checks metrics parity and prints the speedup")
+    perf.add_argument("--json", default=None, metavar="FILE",
+                      help="write the numbers as JSON (the perf-smoke "
+                      "job's artifact)")
+
     for name in ("characterize", "advise"):
         cmd = sub.add_parser(name, help=f"{name} a network")
         cmd.add_argument("--network", required=True,
@@ -526,6 +631,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
+        "perf": _cmd_perf,
         "characterize": _cmd_characterize,
         "advise": _cmd_advise,
     }

@@ -31,6 +31,7 @@ from .workloads import (
     heavy_synthetic,
     hotspot,
     light_synthetic,
+    perf_reference_spec,
     radix_sort,
 )
 
@@ -57,6 +58,7 @@ __all__ = [
     "make_nic_factory",
     "nifdy_param_specs",
     "offered_load_specs",
+    "perf_reference_spec",
     "radix_sort",
     "run_experiment",
     "sweep_machine_sizes",

@@ -262,7 +262,7 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
     observe = spec.observe
     traffic = spec.traffic
 
-    sim = Simulator()
+    sim = Simulator(scheduler=spec.kernel)
     rngf = RngFactory(spec.seed)
     net = build_network(
         network,

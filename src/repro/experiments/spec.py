@@ -31,6 +31,7 @@ from ..faults import FaultPlan
 from ..nic import NifdyParams
 from ..node import CM5_TIMING, Timing
 from ..obs import Observability
+from ..sim import SCHEDULERS
 from ..traffic import TrafficSpec
 
 
@@ -59,6 +60,12 @@ class ExperimentSpec:
     run_cycles: Optional[int] = None
     max_cycles: int = 5_000_000
     seed: int = 0
+    #: Event-queue implementation ("bucket" fast path or the "heap"
+    #: baseline).  Results are bit-identical by construction -- the
+    #: scheduler parity suite enforces it -- but the choice is still part
+    #: of the spec (and its hash) so a parity regression can never alias
+    #: cache entries across kernels.
+    kernel: str = "bucket"
     timing: Optional[Timing] = None  # None -> CM5_TIMING
     check_order: bool = True
     track_congestion: bool = False
@@ -82,6 +89,10 @@ class ExperimentSpec:
             )
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be positive")
+        if self.kernel not in SCHEDULERS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from {SCHEDULERS}"
+            )
 
     # ------------------------------------------------------------ ergonomics
     @property
@@ -132,6 +143,7 @@ class ExperimentSpec:
             "run_cycles": self.run_cycles,
             "max_cycles": self.max_cycles,
             "seed": self.seed,
+            "kernel": self.kernel,
             "timing": None if self.timing is None
             else dataclasses.asdict(self.timing),
             "check_order": self.check_order,

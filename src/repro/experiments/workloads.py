@@ -50,3 +50,37 @@ def radix_sort(config: Optional[RadixSortConfig] = None) -> TrafficSpec:
 def hotspot(config: Optional[HotSpotConfig] = None) -> TrafficSpec:
     """Hot-spot traffic (Section 1 / Section 5's dynamic bandwidth matching)."""
     return TrafficSpec("hotspot", config)
+
+
+def perf_reference_spec(
+    network: str = "fattree",
+    num_nodes: int = 64,
+    run_cycles: int = 20_000,
+    seed: int = 11,
+    kernel: str = "bucket",
+    observe: Optional["Observability"] = None,
+) -> "ExperimentSpec":
+    """The fixed-seed workload ``repro perf`` and the kernel benchmark run.
+
+    Heavy synthetic traffic on a fat tree under the NIFDY NIC -- the
+    densest event mix the simulator produces (every node sending, acks
+    piggybacking, links saturated) -- so its events-per-second figure is a
+    fair proxy for kernel overhead.  Keep the defaults stable: recorded
+    ``BENCH_summary.json`` numbers are only comparable across commits if
+    the workload never moves.
+    """
+    from ..obs import Observability
+    from .spec import ExperimentSpec
+
+    if observe is None:
+        observe = Observability(profile=True, events=True)
+    return ExperimentSpec(
+        network=network,
+        traffic=heavy_synthetic(),
+        num_nodes=num_nodes,
+        run_cycles=run_cycles,
+        seed=seed,
+        kernel=kernel,
+        observe=observe,
+        label=f"perf-ref/{kernel}",
+    )

@@ -32,6 +32,21 @@ from ..obs.events import EventKind
 from ..packets import FLIT_BYTES, Packet
 from ..sim import Simulator
 
+#: Round-robin visit orders shared by every link with the same VC count:
+#: ``_rr_orders(n)[s]`` is ``(s, s+1, ..., n-1, 0, ..., s-1)``.  Precomputing
+#: them removes the per-candidate modulo from the per-flit arbitration loop.
+_RR_ORDER_CACHE = {}
+
+
+def _rr_orders(n: int):
+    orders = _RR_ORDER_CACHE.get(n)
+    if orders is None:
+        orders = tuple(
+            tuple((start + i) % n for i in range(n)) for start in range(n)
+        )
+        _RR_ORDER_CACHE[n] = orders
+    return orders
+
 
 class FlitFeeder:
     """Upstream side of a link: supplies flits for an allocated VC."""
@@ -72,6 +87,10 @@ class Link:
         "_vc_capacity",
         "_busy",
         "_rr",
+        "_rr_orders",
+        "_post",
+        "_complete_cb",
+        "_accept_cb",
         "_alloc_waiters",
         "drop_prob",
         "_drop_rng",
@@ -104,6 +123,14 @@ class Link:
     ) -> None:
         if width_bytes <= 0 or vc_count <= 0 or vc_buffer_flits <= 0:
             raise ValueError("link parameters must be positive")
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1], got {drop_prob}"
+            )
+        if drop_prob > 0.0 and drop_rng is None:
+            # Fail at construction, not at the first head flit: a lossy
+            # link needs its random stream the same way set_fault_drop does.
+            raise ValueError("a lossy link (drop_prob > 0) needs a drop_rng")
         self.sim = sim
         self.name = name
         self.width_bytes = width_bytes
@@ -126,6 +153,13 @@ class Link:
         self._vc_capacity = vc_buffer_flits
         self._busy = False
         self._rr = 0
+        self._rr_orders = _rr_orders(vc_count)
+        # Cached bound methods: the _kick/_complete pair runs once per flit
+        # (the hottest path in the whole simulator), and an attribute lookup
+        # on `self`/`sim` allocates a fresh bound-method object every time.
+        self._post = sim.post
+        self._complete_cb = self._complete
+        self._accept_cb = sink.accept_flit if sink is not None else None
         self._alloc_waiters: List[Callable[[], None]] = []
         self.drop_prob = drop_prob
         self._drop_rng = drop_rng
@@ -134,7 +168,11 @@ class Link:
         self._fault_drop_data = True
         self._fault_drop_acks = True
         self.failed = False
-        self._last_start = -(10 ** 9)
+        #: Cycle the wire last started a flit transfer; None = never used.
+        #: A dedicated sentinel (not a stats counter) so resetting or
+        #: sharing the counters can neither blind the overclock guard nor
+        #: make it fire spuriously.
+        self._last_start: Optional[int] = None
         # statistics
         self.flits_carried = 0
         self.packets_carried = 0
@@ -148,6 +186,7 @@ class Link:
         are created when the topology is built, before NICs exist)."""
         self.sink = sink
         self.sink_port = sink_port
+        self._accept_cb = sink.accept_flit
 
     # ------------------------------------------------------------------ VCs
     def vcs_for_net(self, net: int) -> List[int]:
@@ -261,39 +300,54 @@ class Link:
     def _kick(self) -> None:
         if self._busy:
             return
-        n = self.vc_count
-        chosen = -1
-        for i in range(n):
-            vc = (self._rr + i) % n
-            feeder = self._feeders[vc]
-            if feeder is None:
-                continue
-            if self._credits[vc] <= 0 and not self._dropping[vc]:
-                continue
-            if feeder.has_flit_ready(self, vc):
-                chosen = vc
-                break
-        if chosen < 0:
-            return
-        self._rr = (chosen + 1) % n
-        feeder = self._feeders[chosen]
-        dropping = self._dropping[chosen]
+        feeders = self._feeders
+        dropping_flags = self._dropping
+        credits = self._credits
+        if self.vc_count == 1:
+            # Single-VC fast path (every mesh/butterfly wire): no
+            # arbitration loop, no round-robin pointer to maintain.
+            feeder = feeders[0]
+            if (
+                feeder is None
+                or (credits[0] <= 0 and not dropping_flags[0])
+                or not feeder.has_flit_ready(self, 0)
+            ):
+                return
+            chosen = 0
+        else:
+            chosen = -1
+            for vc in self._rr_orders[self._rr]:
+                feeder = feeders[vc]
+                if feeder is None:
+                    continue
+                if credits[vc] <= 0 and not dropping_flags[vc]:
+                    continue
+                if feeder.has_flit_ready(self, vc):
+                    chosen = vc
+                    break
+            if chosen < 0:
+                return
+            self._rr = chosen + 1 if chosen + 1 < self.vc_count else 0
+        dropping = dropping_flags[chosen]
         if not dropping:
-            self._credits[chosen] -= 1
+            credits[chosen] -= 1
         # Mark the wire busy BEFORE taking the flit: take_flit returns a
         # credit upstream, and on cyclic topologies that credit-return chain
         # can run all the way around a ring and re-enter this link's _kick
         # within the same call stack.  Claiming the wire first makes the
         # re-entry a no-op instead of a double transfer.
         self._busy = True
-        if self.sim.now - self._last_start < self.cycles_per_flit and self.flits_carried:
+        now = self.sim.now
+        last = self._last_start
+        if last is not None and now - last < self.cycles_per_flit:
             raise RuntimeError(f"{self.name}: wire overclocked (double transfer)")
-        self._last_start = self.sim.now
+        self._last_start = now
         packet, is_head, is_tail = feeder.take_flit(self, chosen)
         self.flits_carried += 1
         self.busy_cycles += self.cycles_per_flit
-        self.sim.schedule(
-            self.cycles_per_flit, self._complete, chosen, packet, is_head, is_tail
+        self._post(
+            self.cycles_per_flit, self._complete_cb, chosen, packet, is_head,
+            is_tail,
         )
 
     def _complete(self, vc: int, packet: Packet, is_head: bool, is_tail: bool) -> None:
@@ -321,15 +375,23 @@ class Link:
                 for fn in waiters:
                     fn()
         if not dropping:
-            self.sink.accept_flit(self.sink_port, vc, packet, is_head, is_tail)
+            self._accept_cb(self.sink_port, vc, packet, is_head, is_tail)
         self._kick()
 
     # ------------------------------------------------------------- metrics
     def utilization(self, elapsed_cycles: int) -> float:
-        """Fraction of cycles this wire was carrying flits."""
+        """Ratio of busy wire-cycles to elapsed cycles.
+
+        Deliberately NOT clamped to 1.0: a value above 1.0 means the wire
+        was charged for more flit-time than physically existed -- exactly
+        the double-transfer accounting bug the overclock guard exists to
+        catch -- and clamping would silently mask it.  Display code that
+        wants a tidy percentage clamps for itself (see
+        :func:`repro.metrics.link_utilization_report`).
+        """
         if elapsed_cycles <= 0:
             return 0.0
-        return min(1.0, self.busy_cycles / elapsed_cycles)
+        return self.busy_cycles / elapsed_cycles
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} vcs={self.vc_count} busy={self._busy}>"

@@ -37,7 +37,10 @@ def link_utilization_report(
     rows = [
         LinkUtilization(
             name=link.name,
-            utilization=link.utilization(elapsed_cycles),
+            # Link.utilization is deliberately unclamped (a ratio above 1.0
+            # is an accounting bug it must not hide); for display a tidy
+            # 0..1 fraction is what readers expect.
+            utilization=min(1.0, link.utilization(elapsed_cycles)),
             flits=link.flits_carried,
             packets_dropped=link.packets_dropped,
         )

@@ -180,7 +180,7 @@ class BaseNIC(FlitFeeder, FlitSink):
             del self._inj_streams[(id(link), vc)]
             self.packets_injected += 1
             # Let the subclass queue the next packet for this VC.
-            self.sim.schedule(0, self._on_injection_complete, stream.packet)
+            self.sim.post(0, self._on_injection_complete, stream.packet)
         return stream.packet, is_head, is_tail
 
     def _on_injection_complete(self, packet: Packet) -> None:

@@ -313,13 +313,13 @@ class NifdyNIC(BaseNIC):
             return
         packet.piggyback_ack = None
         carrier = make_ack(packet.src, self.node_id, info)
-        self.sim.schedule(self.params.nifdy_delay, self._process_ack, carrier)
+        self.sim.post(self.params.nifdy_delay, self._process_ack, carrier)
 
     def _on_packet_ejected(self, packet: Packet, vc: int, port: int) -> None:
         self._note_piggyback(packet)
         if packet.kind is PacketKind.ACK:
             self._release_ejection(packet, vc, port)
-            self.sim.schedule(self.params.nifdy_delay, self._process_ack, packet)
+            self.sim.post(self.params.nifdy_delay, self._process_ack, packet)
             return
         if packet.kind is PacketKind.BULK:
             dialog = self._rx_dialogs.get(packet.dialog)
@@ -462,7 +462,9 @@ class NifdyNIC(BaseNIC):
             pending.append((info, event))
             return
         ack = make_ack(self.node_id, to, info)
-        self.sim.schedule(self.params.nifdy_delay, self._ack_ready, ack)
+        # post(): ack hand-offs are fire-and-forget (only the piggyback
+        # expiry above ever needs cancelling, and it keeps schedule()).
+        self.sim.post(self.params.nifdy_delay, self._ack_ready, ack)
 
     # ------------------------------------------------ piggybacking (S6.1)
     def _maybe_piggyback(self, packet: Packet) -> None:

@@ -79,6 +79,7 @@ class Processor:
         exploit_inorder: bool = False,
     ):
         self.sim = sim
+        self._post = sim.post  # cached: _busy runs once per processor step
         self.node_id = node_id
         self.nic = nic
         self.driver = driver
@@ -100,7 +101,7 @@ class Processor:
         driver.bind(self)
 
     def start(self) -> None:
-        self.sim.schedule(0, self._step)
+        self.sim.post(0, self._step)
 
     # ------------------------------------------------------- fault support
     def pause(self) -> None:
@@ -116,7 +117,7 @@ class Processor:
         self._paused = False
         held, self._held_continuations = self._held_continuations, []
         for fn, args in held:
-            self.sim.schedule(0, fn, *args)
+            self.sim.post(0, fn, *args)
 
     # ------------------------------------------------------------ main loop
     def _step(self) -> None:
@@ -225,11 +226,13 @@ class Processor:
     def _barrier_release(self) -> None:
         self._in_barrier = False
         if not self._mid_receive:
-            self.sim.schedule(0, self._run_or_hold, self._step, ())
+            self.sim.post(0, self._run_or_hold, self._step, ())
 
     def _busy(self, cycles: int, fn, *args) -> None:
+        # post(): every processor step is one of these and none is ever
+        # cancelled, so the Event objects come from the kernel free list.
         self.busy_cycles += cycles
-        self.sim.schedule(max(1, cycles), self._run_or_hold, fn, args)
+        self._post(1 if cycles < 1 else cycles, self._run_or_hold, fn, args)
 
     def _run_or_hold(self, fn, args) -> None:
         """Continuation trampoline: while paused, park pending continuations

@@ -103,7 +103,9 @@ class InputUnit(FlitFeeder):
         if not transit.route_ready:
             if not transit.routing_scheduled:
                 transit.routing_scheduled = True
-                self.router.sim.schedule(
+                # post(): route completions fire once per packet per hop and
+                # are never cancelled, so the events are pool-recycled.
+                self.router.sim.post(
                     self.router.route_delay, self._route_done, transit
                 )
             return

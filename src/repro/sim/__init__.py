@@ -1,7 +1,14 @@
 """Simulation substrate: deterministic event kernel, RNG streams, barriers."""
 
 from .barrier import Barrier
-from .kernel import Event, KernelProfile, Simulator
+from .kernel import SCHEDULERS, Event, KernelProfile, Simulator
 from .rng import RngFactory
 
-__all__ = ["Barrier", "Event", "KernelProfile", "RngFactory", "Simulator"]
+__all__ = [
+    "Barrier",
+    "Event",
+    "KernelProfile",
+    "RngFactory",
+    "SCHEDULERS",
+    "Simulator",
+]

@@ -38,7 +38,7 @@ class Barrier:
             self._generation += 1
             self.crossings += 1
             for fn in waiters:
-                self.sim.schedule(self.release_cost, fn)
+                self.sim.post(self.release_cost, fn)
 
     @property
     def waiting_count(self) -> int:

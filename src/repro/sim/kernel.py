@@ -3,9 +3,36 @@
 The paper's simulator (Section 3) steps every object synchronously, cycle by
 cycle.  We keep the same *observable* semantics -- all state changes happen at
 integer cycle boundaries, and simultaneous events fire in a deterministic
-order -- but use an event heap so idle components cost nothing.  Events that
+order -- but use an event queue so idle components cost nothing.  Events that
 are scheduled for the same cycle fire in the order they were scheduled, which
 makes every run bit-for-bit reproducible for a given seed.
+
+Two schedulers implement those semantics:
+
+``"heap"``
+    The original single binary heap keyed by ``(cycle, seq)``.  Kept intact
+    as the measured baseline (``repro perf`` compares against it) and as the
+    executable specification the parity tests diff the fast path against.
+
+``"bucket"`` (the default)
+    A hybrid calendar queue.  Almost every event in a flit-level run is
+    scheduled a small constant number of cycles ahead (``cycles_per_flit``
+    is 1-4, route delays ~1, NIC overheads a few cycles), so events landing
+    within ``_WINDOW`` cycles of *now* go into a ring of per-cycle FIFO
+    lists: scheduling is a plain ``list.append`` and dispatch walks the
+    list -- no heap sift, no Python-level ``Event.__lt__`` calls.  Far
+    events (retransmit timeouts, barriers, fault plans, light-traffic
+    compute gaps) fall back to the binary heap and are merged back in when
+    their cycle comes up.  Combined with the :meth:`Simulator.post`
+    free-list (recycling the millions of short-lived ``Event`` objects per
+    run), this is the kernel fast path.
+
+Ordering across the two stores is still global ``(cycle, seq)`` order: a
+heap event for cycle *c* needed at least a ``_WINDOW``-cycle lead to land
+in the heap, so it was scheduled at a strictly earlier simulated time --
+and therefore holds a strictly lower sequence number -- than every bucket
+event for *c*.  Draining the heap before the bucket at each cycle is
+exactly seq order, which the parity suite verifies workload-by-workload.
 
 Self-profiling (:meth:`Simulator.enable_profiling`) measures where the
 *simulator's own* wall-clock time goes: events executed per second and
@@ -21,14 +48,31 @@ import heapq
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+#: Scheduler implementations selectable at :class:`Simulator` construction.
+SCHEDULERS = ("bucket", "heap")
+
+#: Span of the bucket ring in cycles (power of two so the slot index is a
+#: mask).  Events scheduled fewer than ``_WINDOW`` cycles ahead take the
+#: bucket fast path; everything else falls back to the heap.
+_WINDOW = 64
+_MASK = _WINDOW - 1
+
+#: Upper bound on the :meth:`Simulator.post` free list, so a burst of
+#: simultaneously-pending events cannot pin memory forever.
+_FREE_MAX = 4096
+
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     Cancellation is O(1): the event is flagged and skipped when popped.
+    Events created through :meth:`Simulator.post` are *pooled*: the kernel
+    recycles them through a free list after they fire, which is why
+    ``post`` never hands the object out.
     """
 
-    __slots__ = ("cycle", "seq", "fn", "args", "cancelled", "_fired", "_sim")
+    __slots__ = ("cycle", "seq", "fn", "args", "cancelled", "_fired",
+                 "_pooled", "_sim")
 
     def __init__(self, cycle: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.cycle = cycle
@@ -37,6 +81,7 @@ class Event:
         self.args = args
         self.cancelled = False
         self._fired = False
+        self._pooled = False
         self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
@@ -62,7 +107,7 @@ class KernelProfile:
     ``by_handler`` maps a handler's qualified name (e.g.
     ``NifdyNIC._process_ack``) to ``[count, seconds]``; ``loop_seconds``
     is total time spent inside the run loop, so ``events_per_sec`` includes
-    heap overhead -- the honest throughput figure for comparing runs.
+    queue overhead -- the honest throughput figure for comparing runs.
     """
 
     def __init__(self) -> None:
@@ -121,12 +166,28 @@ class KernelProfile:
 
 
 class Simulator:
-    """Event-driven simulator with cycle-granularity virtual time."""
+    """Event-driven simulator with cycle-granularity virtual time.
 
-    def __init__(self) -> None:
+    ``scheduler`` picks the event-queue implementation (see the module
+    docstring): ``"bucket"`` is the hybrid calendar-queue fast path and the
+    default; ``"heap"`` is the original binary-heap kernel, kept as the
+    baseline the parity tests and ``repro perf`` compare against.  Both
+    fire events in identical ``(cycle, seq)`` order.
+    """
+
+    def __init__(self, scheduler: str = "bucket") -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+            )
+        self._scheduler = scheduler
+        self._use_buckets = scheduler == "bucket"
         self._now = 0
         self._seq = 0
         self._heap: List[Event] = []
+        self._buckets: List[List[Event]] = [[] for _ in range(_WINDOW)]
+        self._nbucket = 0  # events (incl. cancelled husks) in the ring
+        self._free: List[Event] = []
         self._running = False
         self._live = 0
         self._profile: Optional[KernelProfile] = None
@@ -135,6 +196,11 @@ class Simulator:
     def now(self) -> int:
         """Current simulation cycle."""
         return self._now
+
+    @property
+    def scheduler(self) -> str:
+        """Which event-queue implementation this kernel runs on."""
+        return self._scheduler
 
     @property
     def profile(self) -> Optional[KernelProfile]:
@@ -164,8 +230,54 @@ class Simulator:
         event._sim = self
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        if self._use_buckets and cycle - self._now < _WINDOW:
+            self._buckets[cycle & _MASK].append(event)
+            self._nbucket += 1
+        else:
+            heapq.heappush(self._heap, event)
         return event
+
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule fire-and-forget: like :meth:`schedule`, but returns no
+        handle and the event can never be cancelled.
+
+        This is the hot-path API.  Links, routers, processors and the NIC
+        ack pumps schedule millions of short-lived events per run and never
+        cancel one; ``post`` recycles those :class:`Event` objects through
+        a free list instead of allocating each time.  Recycled events are
+        never handed out, so a stale reference can never cancel (or
+        observe) a later occupant -- anything that might need cancelling
+        must use :meth:`schedule` / :meth:`at`, which always return a
+        fresh, never-recycled Event.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        if not self._use_buckets:
+            # The heap scheduler is the preserved baseline: one fresh
+            # allocation per event, exactly as the original kernel behaved.
+            self.at(self._now + delay, fn, *args)
+            return
+        cycle = self._now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.cycle = cycle
+            event.seq = self._seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._fired = False
+        else:
+            event = Event(cycle, self._seq, fn, args)
+            event._pooled = True
+            event._sim = self
+        self._seq += 1
+        self._live += 1
+        if delay < _WINDOW:
+            self._buckets[cycle & _MASK].append(event)
+            self._nbucket += 1
+        else:
+            heapq.heappush(self._heap, event)
 
     def run_until(self, cycle: int) -> None:
         """Run all events with timestamp strictly less than ``cycle``.
@@ -174,20 +286,25 @@ class Simulator:
         earlier, in which case ``now`` still advances to ``cycle``).
         """
         self._running = True
-        heap = self._heap
-        profile = self._profile
         try:
-            if profile is None:
-                while heap and heap[0].cycle < cycle:
-                    event = heapq.heappop(heap)
-                    if event.cancelled:
-                        continue
-                    event._fired = True
-                    self._live -= 1
-                    self._now = event.cycle
-                    event.fn(*event.args)
+            if self._use_buckets:
+                if self._profile is None:
+                    self._run_buckets(cycle)
+                else:
+                    self._run_buckets_profiled(cycle)
             else:
-                self._run_profiled(lambda: heap and heap[0].cycle < cycle)
+                heap = self._heap
+                if self._profile is None:
+                    while heap and heap[0].cycle < cycle:
+                        event = heapq.heappop(heap)
+                        if event.cancelled:
+                            continue
+                        event._fired = True
+                        self._live -= 1
+                        self._now = event.cycle
+                        event.fn(*event.args)
+                else:
+                    self._run_profiled(lambda: heap and heap[0].cycle < cycle)
         finally:
             self._running = False
         self._now = max(self._now, cycle)
@@ -197,27 +314,146 @@ class Simulator:
         if max_cycles is not None:
             self.run_until(self._now + max_cycles)
             return
-        heap = self._heap
-        profile = self._profile
         self._running = True
         try:
-            if profile is None:
-                while heap:
-                    event = heapq.heappop(heap)
-                    if event.cancelled:
-                        continue
-                    event._fired = True
-                    self._live -= 1
-                    self._now = event.cycle
-                    event.fn(*event.args)
+            if self._use_buckets:
+                if self._profile is None:
+                    self._run_buckets(None)
+                else:
+                    self._run_buckets_profiled(None)
             else:
-                self._run_profiled(lambda: bool(heap))
+                heap = self._heap
+                if self._profile is None:
+                    while heap:
+                        event = heapq.heappop(heap)
+                        if event.cancelled:
+                            continue
+                        event._fired = True
+                        self._live -= 1
+                        self._now = event.cycle
+                        event.fn(*event.args)
+                else:
+                    self._run_profiled(lambda: bool(heap))
         finally:
             self._running = False
 
+    # ------------------------------------------------------ bucket fast path
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle holding a queued event (husks included), or None.
+
+        With the ring non-empty the scan terminates within ``_WINDOW``
+        slots by construction; in flit-saturated runs it terminates in one
+        or two.
+        """
+        heap = self._heap
+        if self._nbucket:
+            buckets = self._buckets
+            c = self._now
+            while not buckets[c & _MASK]:
+                c += 1
+            if heap and heap[0].cycle < c:
+                return heap[0].cycle
+            return c
+        if heap:
+            return heap[0].cycle
+        return None
+
+    def _run_buckets(self, bound: Optional[int]) -> None:
+        """The calendar-queue event loop: identical firing order to the
+        heap loops, with pooled-event recycling."""
+        heap = self._heap
+        buckets = self._buckets
+        free = self._free
+        heappop = heapq.heappop
+        while True:
+            c = self._next_event_cycle()
+            if c is None or (bound is not None and c >= bound):
+                return
+            self._now = c
+            # Heap first: every heap event for this cycle was scheduled at
+            # an earlier simulated time than every bucket event for it
+            # (it needed a >= _WINDOW lead to be in the heap at all), so it
+            # carries a lower seq.  Handlers can only add *bucket* events
+            # for the current cycle, so this drain cannot starve.
+            while heap and heap[0].cycle == c:
+                event = heappop(heap)
+                if not event.cancelled:
+                    event._fired = True
+                    self._live -= 1
+                    event.fn(*event.args)
+                if event._pooled and len(free) < _FREE_MAX:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+            bucket = buckets[c & _MASK]
+            i = 0
+            while i < len(bucket):  # handlers may append same-cycle events
+                event = bucket[i]
+                i += 1
+                if not event.cancelled:
+                    event._fired = True
+                    self._live -= 1
+                    event.fn(*event.args)
+                if event._pooled and len(free) < _FREE_MAX:
+                    event.fn = None
+                    event.args = ()
+                    free.append(event)
+            self._nbucket -= i
+            del bucket[:]
+
+    def _run_buckets_profiled(self, bound: Optional[int]) -> None:
+        """Timed twin of :meth:`_run_buckets` (per-handler wall-clock)."""
+        heap = self._heap
+        buckets = self._buckets
+        free = self._free
+        heappop = heapq.heappop
+        profile = self._profile
+        clock = time.perf_counter
+        loop_start = clock()
+        try:
+            while True:
+                c = self._next_event_cycle()
+                if c is None or (bound is not None and c >= bound):
+                    return
+                self._now = c
+                while heap and heap[0].cycle == c:
+                    event = heappop(heap)
+                    if not event.cancelled:
+                        event._fired = True
+                        self._live -= 1
+                        start = clock()
+                        event.fn(*event.args)
+                        profile.note(event.fn, clock() - start)
+                        profile.events += 1
+                    if event._pooled and len(free) < _FREE_MAX:
+                        event.fn = None
+                        event.args = ()
+                        free.append(event)
+                bucket = buckets[c & _MASK]
+                i = 0
+                while i < len(bucket):
+                    event = bucket[i]
+                    i += 1
+                    if not event.cancelled:
+                        event._fired = True
+                        self._live -= 1
+                        start = clock()
+                        event.fn(*event.args)
+                        profile.note(event.fn, clock() - start)
+                        profile.events += 1
+                    if event._pooled and len(free) < _FREE_MAX:
+                        event.fn = None
+                        event.args = ()
+                        free.append(event)
+                self._nbucket -= i
+                del bucket[:]
+        finally:
+            profile.loop_seconds += clock() - loop_start
+
+    # --------------------------------------------------------- heap baseline
     def _run_profiled(self, more: Callable[[], Any]) -> None:
-        """The timed event loop: same semantics as the plain loops, plus
-        per-handler wall-clock accounting."""
+        """The timed heap event loop: same semantics as the plain loops,
+        plus per-handler wall-clock accounting."""
         heap = self._heap
         profile = self._profile
         clock = time.perf_counter
@@ -244,4 +480,5 @@ class Simulator:
         return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self._now} queued={len(self._heap)}>"
+        return (f"<Simulator {self._scheduler} now={self._now} "
+                f"queued={len(self._heap) + self._nbucket}>")

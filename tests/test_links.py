@@ -237,3 +237,64 @@ class TestValidation:
     def test_net_of_vc_length_checked(self):
         with pytest.raises(ValueError):
             Link(Simulator(), "L", 1, 2, 1, sink=None, sink_port=0, net_of_vc=[0])
+
+    def test_lossy_link_without_rng_rejected_at_construction(self):
+        # Regression: Link(drop_prob=0.3) with no drop_rng used to pass
+        # construction and crash with AttributeError at the first head
+        # flit's drop decision.  The missing stream must fail fast.
+        sim = Simulator()
+        with pytest.raises(ValueError, match="drop_rng"):
+            make_link(sim, RecordingSink(), drop_prob=0.3)
+
+    def test_drop_prob_out_of_range_rejected(self):
+        sim = Simulator()
+        rng = RngFactory(3).stream("drop")
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                make_link(sim, RecordingSink(), drop_prob=bad, drop_rng=rng)
+        # Boundary values are legal (0.0 needs no rng at all).
+        make_link(sim, RecordingSink(), drop_prob=0.0)
+        make_link(sim, RecordingSink(), drop_prob=1.0, drop_rng=rng)
+
+
+class TestAccountingHonesty:
+    def test_utilization_not_clamped(self):
+        # Regression: utilization() used to min(1.0, ...) -- hiding exactly
+        # the double-transfer accounting bugs the overclock guard hunts.
+        sim = Simulator()
+        link = make_link(sim, RecordingSink())
+        link.busy_cycles = 150
+        assert link.utilization(100) == pytest.approx(1.5)
+        assert link.utilization(0) == 0.0
+
+    def test_overclock_guard_survives_counter_reset(self):
+        # Regression: the guard used to treat flits_carried == 0 as "first
+        # transfer ever", so zeroing the stats counter (as measurement-
+        # window code legitimately does) re-armed a free double transfer.
+        # The dedicated _last_start sentinel must not be fooled.
+        sim = Simulator()
+        sink = RecordingSink()
+        link = make_link(sim, sink)
+        sink.auto_credit_link = link
+        pkt = packet(flits=2)
+        link.allocate_vc(pkt, OnePacketFeeder(pkt), [0])
+        link.notify_flit_ready(0)
+        sim.run_until(1)  # first flit started at 0, still on the wire
+        link.flits_carried = 0  # stats reset must not re-arm the wire
+        link._busy = False      # simulate the bug the guard exists to catch
+        with pytest.raises(RuntimeError, match="overclocked"):
+            link._kick()
+
+    def test_overclock_guard_allows_back_to_back_transfers(self):
+        # Consecutive flits exactly cycles_per_flit apart are legal; only a
+        # transfer *inside* the previous flit's wire time is a bug.
+        sim = Simulator()
+        sink = RecordingSink()
+        link = make_link(sim, sink)
+        sink.auto_credit_link = link
+        pkt = packet(flits=4)
+        link.allocate_vc(pkt, OnePacketFeeder(pkt), [0])
+        link.notify_flit_ready(0)
+        sim.run()
+        assert len(sink.flits) == 4
+        assert link.utilization(sim.now) == pytest.approx(1.0)

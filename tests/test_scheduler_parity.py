@@ -1,0 +1,86 @@
+"""Scheduler parity: the bucket fast path must be indistinguishable from
+the heap baseline.
+
+The bucket scheduler is only allowed to exist because it changes *nothing*
+observable: same-cycle events fire in scheduling order, cross-cycle events
+fire in time order, and every workload produces bit-identical results.
+This suite enforces that the hard way -- it runs every registered traffic
+workload under both kernels and diffs the full structured metrics JSON
+(totals, latency histograms, per-NIC counters, protocol event counts)
+byte-for-byte.  Any divergence, however small, is a kernel bug, never
+noise: the simulator is deterministic by construction.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.obs import Observability, metrics_json
+from repro.traffic import (
+    CShiftConfig,
+    Em3dConfig,
+    HotSpotConfig,
+    PairStreamConfig,
+    RadixSortConfig,
+    TrafficSpec,
+    traffic_names,
+)
+
+NODES = 16
+
+#: Every registered workload, sized to finish in a couple of seconds on a
+#: 16-node fat tree while still exercising barriers, acks, retransmission
+#: timers, and multi-phase traffic -- the full event-type mix.
+WORKLOADS = {
+    "heavy": dict(traffic=TrafficSpec("heavy"), run_cycles=3000),
+    "light": dict(traffic=TrafficSpec("light"), run_cycles=3000),
+    "cshift": dict(
+        traffic=TrafficSpec("cshift", CShiftConfig(words_per_phase=24, phases=4)),
+    ),
+    "em3d": dict(
+        traffic=TrafficSpec("em3d", Em3dConfig(n_nodes=4, d_nodes=3, iterations=2)),
+    ),
+    "radix": dict(
+        traffic=TrafficSpec("radix", RadixSortConfig(buckets=32, keys_per_processor=8)),
+    ),
+    "hotspot": dict(
+        traffic=TrafficSpec("hotspot", HotSpotConfig(packets_per_node=20)),
+    ),
+    "pairstream": dict(
+        traffic=TrafficSpec("pairstream", PairStreamConfig(packets=30)),
+    ),
+}
+
+
+def test_parity_suite_covers_every_registered_workload():
+    """A workload added to the registry must be added here too."""
+    assert set(WORKLOADS) == set(traffic_names())
+
+
+def _canonical_metrics(name: str, kernel: str) -> str:
+    cfg = WORKLOADS[name]
+    spec = ExperimentSpec(
+        network="fattree",
+        traffic=cfg["traffic"],
+        num_nodes=NODES,
+        run_cycles=cfg.get("run_cycles"),
+        max_cycles=300_000,
+        seed=7,
+        kernel=kernel,
+        observe=Observability(events=True),
+    )
+    result = run_experiment(spec)
+    metrics = metrics_json(result)
+    metrics.pop("self_profile", None)
+    return json.dumps(metrics, sort_keys=True)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_bucket_and_heap_metrics_byte_identical(name):
+    heap = _canonical_metrics(name, "heap")
+    bucket = _canonical_metrics(name, "bucket")
+    assert bucket == heap, (
+        f"workload {name!r}: bucket scheduler diverged from the heap "
+        "baseline (metrics JSON not byte-identical)"
+    )
