@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Receiver-side recovery variants on a packet-spraying fat tree.
+
+Per-packet spraying extracts path diversity from a fat tree but gives up
+the in-order delivery the NIFDY protocol assumes, so something at the
+receiver has to put the stream back together.  This sweep compares the
+three classic answers under synchronized incast bursts:
+
+* ``reorder-window``  -- NIFDY-style bounded reorder window with
+  cumulative acks (a loss costs go-back-N style retransmission storms);
+* ``reorder-bitmap``  -- Eunomia-style bitmap tracker whose selective
+  acks retransmit only the packets actually lost;
+* ``reorder-jain``    -- Jain's drop-vs-cache receiver (DEC TR-342):
+  out-of-order arrivals are dropped (or cached up to a tiny budget) and
+  recovered purely by sender timeout.
+
+Every cell runs loss x path-skew on ``fattree-spray`` with the invariant
+monitor attached; the variants differ in *cost* (retransmissions,
+duplicates), never in *correctness* (delivery must be exactly-once and
+in order everywhere).
+
+Run:  python examples/reorder_comparison.py
+Exits non-zero if any cell is incomplete, misordered, or trips a
+protocol invariant (so it doubles as a smoke test in CI).
+"""
+
+import sys
+
+from repro.experiments import (
+    REORDER_VARIANT_MODES,
+    reorder_variant_specs,
+    run_experiment,
+)
+
+LOSS_RATES = (0.0, 0.001, 0.01)
+PATH_SKEWS = (0, 2, 8)
+
+
+def main() -> int:
+    specs = reorder_variant_specs(
+        "fattree-spray",
+        loss_rates=LOSS_RATES,
+        path_skews=PATH_SKEWS,
+        num_nodes=16,
+        seed=3,
+    )
+    print("incast on 16-node fattree-spray: 3 receiver variants x "
+          f"loss {LOSS_RATES} x path-skew {PATH_SKEWS}\n")
+    header = (f"{'variant':15s} {'loss':>6s} {'skew':>4s} "
+              f"{'delivered':>9s} {'cycles':>9s} {'retx':>5s} "
+              f"{'dups':>5s} {'depth p99':>9s}  status")
+    print(header)
+    print("-" * len(header))
+
+    ok = True
+    cells = len(LOSS_RATES) * len(PATH_SKEWS)
+    for i, spec in enumerate(specs):
+        mode = REORDER_VARIANT_MODES[i // cells]
+        loss = LOSS_RATES[(i % cells) // len(PATH_SKEWS)]
+        skew = PATH_SKEWS[i % len(PATH_SKEWS)]
+        result = run_experiment(spec)
+        violations = result.violations
+        good = (result.completed and result.order_violations == 0
+                and not violations)
+        ok = ok and good
+        retx = sum(nic.retransmissions for nic in result.nics)
+        dups = sum(nic.duplicates_dropped for nic in result.nics)
+        status = "ok" if good else (
+            f"completed={result.completed} "
+            f"order={result.order_violations} viol={len(violations)}")
+        print(f"{mode:15s} {loss:6.2%} {skew:4d} "
+              f"{result.delivered:9,} {result.cycles:9,} {retx:5d} "
+              f"{dups:5d} {result.metrics.reorder_depth.p99:9d}  {status}")
+
+    if ok:
+        print("\nEvery cell delivered exactly-once, in order, with zero "
+              "invariant violations; the variants differ only in recovery "
+              "cost.")
+        return 0
+    print("\nFAILED: a cell was incomplete, misordered, or tripped an "
+          "invariant.")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,9 +50,11 @@ from .experiments import (
     em3d,
     heavy_synthetic,
     hotspot,
+    incast,
     light_synthetic,
     perf_reference_spec,
     radix_sort,
+    rpc_fanout,
     run_experiment,
     sweep_machine_sizes,
     sweep_nifdy_params,
@@ -63,8 +65,13 @@ from .nic import NifdyParams
 from .obs import Observability, chrome_trace, metrics_json, write_json
 from .sim import SCHEDULERS
 
-TRAFFIC_CHOICES = ("heavy", "light", "cshift", "em3d", "radix", "hotspot")
-NIC_CHOICES = ("plain", "buffered", "nifdy", "nifdy-")
+TRAFFIC_CHOICES = (
+    "heavy", "light", "cshift", "em3d", "radix", "hotspot", "incast", "rpc",
+)
+NIC_CHOICES = (
+    "plain", "buffered", "nifdy", "nifdy-",
+    "reorder-window", "reorder-bitmap", "reorder-jain",
+)
 
 
 def _traffic_factory(name: str):
@@ -82,6 +89,10 @@ def _traffic_factory(name: str):
         return radix_sort()
     if name == "hotspot":
         return hotspot()
+    if name == "incast":
+        return incast()
+    if name == "rpc":
+        return rpc_fanout()
     raise ValueError(f"unknown traffic {name!r}")
 
 
@@ -143,6 +154,8 @@ def _cmd_run(args) -> int:
         drop_prob=args.drop,
         max_retries=args.max_retries,
         fault_plan=plan,
+        network_overrides={"path_skew": args.path_skew}
+        if args.path_skew else None,
         watchdog_cycles=args.watchdog,
         kernel=args.kernel,
         observe=observe,
@@ -159,6 +172,11 @@ def _cmd_run(args) -> int:
           f"p90 {hist.p90}  p99 {hist.p99}  max {hist.maximum} cycles "
           "(injection -> accept)")
     print(f"order violations : {result.order_violations}")
+    depth = result.metrics.reorder_depth
+    if depth.count:
+        print(f"reorder depth    : p50 {depth.p50}  p99 {depth.p99}  "
+              f"max {depth.maximum} over "
+              f"{len(result.metrics.reorder_depth_by_pair)} (src,dst) pairs")
     if plan is not None or args.drop > 0.0:
         # A faulted run earns its degradation section: how much of the
         # offered traffic survived and what the recovery machinery cost.
@@ -332,6 +350,8 @@ def _cmd_chaos(args) -> int:
         network=args.network,
         num_nodes=args.nodes,
         traffics=tuple(t for t in args.traffics.split(",") if t),
+        nic_modes=tuple(m for m in args.nic_modes.split(",") if m),
+        path_skews=tuple(_int_list(args.path_skews)) or (0,),
         max_faults=args.max_faults,
         jobs=args.jobs,
         point_timeout=args.point_timeout,
@@ -482,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--drop", type=float, default=0.0,
                      help="per-link packet drop probability (Section 6.2)")
+    run.add_argument("--path-skew", type=int, default=0, metavar="CYCLES",
+                     help="per-hop random route-latency jitter in cycles "
+                     "(spraying fabrics only; makes in-network reordering "
+                     "likely)")
     run.add_argument("--fault-plan", default=None, metavar="FILE",
                      help="JSON fault plan (see docs/protocol.md, Fault model)")
     run.add_argument("--fault", action="append", default=[], metavar="SPEC",
@@ -576,6 +600,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="cshift,radix,hotspot,pairstream",
                        metavar="NAME,NAME,...",
                        help="registry traffic names to draw workloads from")
+    chaos.add_argument("--nic-modes", default="nifdy",
+                       metavar="MODE,MODE,...",
+                       help="NIC modes to draw trials from (e.g. "
+                       "'nifdy,reorder-bitmap' to mix the reorder-tolerant "
+                       "receivers into the gauntlet)")
+    chaos.add_argument("--path-skews", default="0", metavar="C,C,...",
+                       help="per-hop route-jitter values (cycles) to draw "
+                       "from; non-zero needs a -spray network")
     chaos.add_argument("--max-faults", type=int, default=3,
                        help="fault events per trial drawn from 1..N")
     chaos.add_argument("--jobs", type=int, default=1, metavar="N",

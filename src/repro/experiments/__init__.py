@@ -17,27 +17,33 @@ from .runner import (
 )
 from .spec import ExperimentSpec, SpecSerializationError
 from .sweep import (
+    REORDER_VARIANT_MODES,
     default_param_grid,
     machine_size_specs,
     nifdy_param_specs,
     offered_load_specs,
+    reorder_variant_specs,
     sweep_machine_sizes,
     sweep_nifdy_params,
     sweep_offered_load,
+    sweep_reorder_variants,
 )
 from .workloads import (
     cshift,
     em3d,
     heavy_synthetic,
     hotspot,
+    incast,
     light_synthetic,
     perf_reference_spec,
     radix_sort,
+    rpc_fanout,
 )
 
 __all__ = [
     "BEST_PARAMS",
     "NIC_MODES",
+    "REORDER_VARIANT_MODES",
     "ExperimentResult",
     "ExperimentSpec",
     "ResultCache",
@@ -53,6 +59,7 @@ __all__ = [
     "em3d",
     "heavy_synthetic",
     "hotspot",
+    "incast",
     "light_synthetic",
     "machine_size_specs",
     "make_nic_factory",
@@ -60,8 +67,11 @@ __all__ = [
     "offered_load_specs",
     "perf_reference_spec",
     "radix_sort",
+    "reorder_variant_specs",
+    "rpc_fanout",
     "run_experiment",
     "sweep_machine_sizes",
     "sweep_nifdy_params",
     "sweep_offered_load",
+    "sweep_reorder_variants",
 ]

@@ -39,6 +39,10 @@ BEST_PARAMS: Dict[str, NifdyParams] = {
     # Section 6.3 extension: adaptive mesh -- mesh-like volume, so mesh-like
     # admission control.
     "mesh2d-adaptive": NifdyParams(opt_size=4, pool_size=8, dialogs=1, window=2),
+    # Spraying variants keep the base fabric's admission control; spraying
+    # changes ordering, not volume or bisection.
+    "fattree-spray": NifdyParams(opt_size=8, pool_size=8, dialogs=1, window=2),
+    "multibutterfly-spray": NifdyParams(opt_size=8, pool_size=8, dialogs=1, window=2),
 }
 
 

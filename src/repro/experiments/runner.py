@@ -38,13 +38,27 @@ from ..faults import FaultInjector, FaultPlan
 from ..metrics import CongestionTracker, MetricsCollector, PacketTracer
 from ..networks import build_network
 from ..obs import EventBus, Observability, StateSampler
-from ..nic import BufferedNIC, NifdyNIC, NifdyParams, PlainNIC, RetransmittingNifdyNIC
+from ..nic import (
+    REORDER_NIC_MODES,
+    BufferedNIC,
+    NifdyNIC,
+    NifdyParams,
+    PlainNIC,
+    ReorderParams,
+    ReorderTolerantNIC,
+    RetransmittingNifdyNIC,
+)
 from ..node import CM5_TIMING, Processor, Timing, TrafficDriver
 from ..sim import Barrier, RngFactory, Simulator
 from .configs import best_params
 from .spec import ExperimentSpec
 
-NIC_MODES = ("plain", "buffered", "nifdy", "nifdy-")
+NIC_MODES = (
+    "plain", "buffered", "nifdy", "nifdy-",
+    # Reorder-tolerant receivers (the multipath scenario pack): same windowed
+    # sender, three receiver recovery policies.
+    "reorder-window", "reorder-bitmap", "reorder-jain",
+)
 
 #: A traffic factory: (node_id, num_nodes, rng_factory, exploit_inorder) -> driver.
 TrafficFactory = Callable[[int, int, RngFactory, bool], TrafficDriver]
@@ -119,6 +133,7 @@ def make_nic_factory(
     retx_timeout: int = 1000,
     on_exhaust: str = "abandon",
     max_retries: int = 50,
+    reorder_params: Optional[ReorderParams] = None,
 ) -> Callable[[int], object]:
     """NIC constructor for ``nic_mode`` (see module docstring)."""
     if nic_mode == "plain":
@@ -133,6 +148,13 @@ def make_nic_factory(
                 on_exhaust=on_exhaust, max_retries=max_retries,
             )
         return lambda node: NifdyNIC(sim, node, params)
+    if nic_mode in REORDER_NIC_MODES:
+        policy = REORDER_NIC_MODES[nic_mode]
+        return lambda node: ReorderTolerantNIC(
+            sim, node, policy=policy, params=reorder_params,
+            retx_timeout=retx_timeout, on_exhaust=on_exhaust,
+            max_retries=max_retries,
+        )
     raise ValueError(f"unknown NIC mode {nic_mode!r}; choose from {NIC_MODES}")
 
 
@@ -154,10 +176,12 @@ def describe_stall(nics, processors, metrics) -> str:
         if hold:
             for key, held in list(hold.items())[:4]:
                 packet, _, tries = held[0], held[1], held[2]
-                what = (
-                    f"scalar to {packet.dst}" if key[0] == "s"
-                    else f"bulk dialog {key[2]} seq {key[3]} to {packet.dst}"
-                )
+                if key[0] == "s":
+                    what = f"scalar to {packet.dst}"
+                elif key[0] == "r":
+                    what = f"stream seq {key[2]} to {packet.dst}"
+                else:
+                    what = f"bulk dialog {key[2]} seq {key[3]} to {packet.dst}"
                 issues.append(f"retransmitting {what} ({tries} tries so far)")
         outstanding = getattr(nic, "opt", None)
         if outstanding is not None and len(outstanding):
@@ -278,9 +302,16 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
     nic_factory = make_nic_factory(
         sim, nic_mode, params, lossy=lossy, retx_timeout=spec.retx_timeout,
         on_exhaust=spec.on_exhaust, max_retries=spec.max_retries,
+        reorder_params=spec.reorder_params,
     )
     nics = net.attach_nics(nic_factory)
-    exploit = net.delivers_in_order or nic_mode == "nifdy"
+    # Reorder-tolerant receivers restore per-sender order, so software gets
+    # the in-order-aware library just like the NIFDY mode does.
+    exploit = (
+        net.delivers_in_order
+        or nic_mode == "nifdy"
+        or nic_mode in REORDER_NIC_MODES
+    )
     active = spec.active_nodes if spec.active_nodes is not None else num_nodes
     if not 0 < active <= num_nodes:
         raise ValueError("active_nodes must be in 1..num_nodes")
@@ -334,9 +365,12 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
             # layer (its chaos engine drives the SweepEngine).
             from ..validate.invariants import InvariantMonitor
 
+            # Order is gated per receiver (the monitor duck-types each
+            # node's NIC), so mixed guarantees on a reordering fabric are
+            # checked exactly where they hold.
             observe.monitor = InvariantMonitor(
-                check_order=spec.check_order
-                and (net.delivers_in_order or nics[0].guarantees_order),
+                check_order=spec.check_order,
+                fabric_in_order=net.delivers_in_order,
                 strict=observe.validate_strict,
             ).attach(observe.bus, nics)
         if observe.trace:

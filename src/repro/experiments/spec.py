@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..faults import FaultPlan
-from ..nic import NifdyParams
+from ..nic import NifdyParams, ReorderParams
 from ..node import CM5_TIMING, Timing
 from ..obs import Observability
 from ..sim import SCHEDULERS
@@ -57,6 +57,9 @@ class ExperimentSpec:
     active_nodes: Optional[int] = None
     nic_mode: str = "nifdy"
     nifdy_params: Optional[NifdyParams] = None
+    #: Parameters for the ``reorder-*`` NIC modes (bounded reorder window,
+    #: Eunomia bitmap, Jain drop-vs-cache); ignored by the other modes.
+    reorder_params: Optional[ReorderParams] = None
     run_cycles: Optional[int] = None
     max_cycles: int = 5_000_000
     seed: int = 0
@@ -140,6 +143,8 @@ class ExperimentSpec:
             "nic_mode": self.nic_mode,
             "nifdy_params": None if self.nifdy_params is None
             else dataclasses.asdict(self.nifdy_params),
+            "reorder_params": None if self.reorder_params is None
+            else dataclasses.asdict(self.reorder_params),
             "run_cycles": self.run_cycles,
             "max_cycles": self.max_cycles,
             "seed": self.seed,
@@ -177,6 +182,8 @@ class ExperimentSpec:
         kwargs["traffic"] = TrafficSpec.from_dict(kwargs["traffic"])
         if kwargs.get("nifdy_params") is not None:
             kwargs["nifdy_params"] = NifdyParams(**kwargs["nifdy_params"])
+        if kwargs.get("reorder_params") is not None:
+            kwargs["reorder_params"] = ReorderParams(**kwargs["reorder_params"])
         if kwargs.get("timing") is not None:
             kwargs["timing"] = Timing(**kwargs["timing"])
         if kwargs.get("fault_plan") is not None:

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..nic import NifdyParams
-from ..traffic import SyntheticConfig
+from ..nic import NifdyParams, ReorderParams
+from ..obs import Observability
+from ..traffic import IncastConfig, SyntheticConfig
 from .engine import SweepEngine, SweepPoint
 from .spec import ExperimentSpec
-from .workloads import heavy_synthetic, light_synthetic
+from .workloads import heavy_synthetic, incast, light_synthetic
 
 
 def _engine_or_default(engine: Optional[SweepEngine]) -> SweepEngine:
@@ -178,6 +179,79 @@ def sweep_offered_load(
     specs = offered_load_specs(
         network, gaps, nic_mode=nic_mode, num_nodes=num_nodes,
         run_cycles=run_cycles, seed=seed, nifdy_params=nifdy_params,
+    )
+    return _engine_or_default(engine).run(specs)
+
+
+# ------------------------------------------------- reorder scenario pack
+#: The three receiver-side recovery variants the scenario pack compares.
+REORDER_VARIANT_MODES = ("reorder-window", "reorder-bitmap", "reorder-jain")
+
+
+def reorder_variant_specs(
+    network: str = "fattree-spray",
+    *,
+    nic_modes: Sequence[str] = REORDER_VARIANT_MODES,
+    loss_rates: Sequence[float] = (0.0, 0.001, 0.01),
+    path_skews: Sequence[int] = (0, 2, 8),
+    traffic=None,
+    num_nodes: int = 16,
+    seed: int = 0,
+    max_cycles: int = 3_000_000,
+    reorder_params: Optional[ReorderParams] = None,
+    validate: bool = True,
+) -> List[ExperimentSpec]:
+    """The scenario-pack comparison grid as specs: receiver variant x
+    loss rate x path skew on a spraying fabric, run to completion under
+    the invariant monitor.
+
+    Incast traffic by default -- the pattern the recovery variants exist
+    for: synchronised bursts on a multipath fabric, so every trial sees
+    genuine in-network reordering *and* ack implosion at the sink.
+    """
+    traffic = traffic or incast(IncastConfig(rounds=3, packets_per_round=6))
+    specs = []
+    for mode in nic_modes:
+        for loss in loss_rates:
+            for skew in path_skews:
+                specs.append(
+                    ExperimentSpec(
+                        network=network,
+                        traffic=traffic,
+                        num_nodes=num_nodes,
+                        nic_mode=mode,
+                        reorder_params=reorder_params,
+                        max_cycles=max_cycles,
+                        seed=seed,
+                        drop_prob=loss,
+                        network_overrides={"path_skew": skew},
+                        observe=Observability(validate=True)
+                        if validate else None,
+                        label=f"{mode} loss={loss:.2%} skew={skew}",
+                    )
+                )
+    return specs
+
+
+def sweep_reorder_variants(
+    network: str = "fattree-spray",
+    *,
+    nic_modes: Sequence[str] = REORDER_VARIANT_MODES,
+    loss_rates: Sequence[float] = (0.0, 0.001, 0.01),
+    path_skews: Sequence[int] = (0, 2, 8),
+    traffic=None,
+    num_nodes: int = 16,
+    seed: int = 0,
+    reorder_params: Optional[ReorderParams] = None,
+    engine: Optional[SweepEngine] = None,
+) -> List[SweepPoint]:
+    """Run the receiver-variant grid; points come back in spec order
+    (variant-major), each carrying delivery, abandonment, order-violation
+    and invariant-violation counts."""
+    specs = reorder_variant_specs(
+        network, nic_modes=nic_modes, loss_rates=loss_rates,
+        path_skews=path_skews, traffic=traffic, num_nodes=num_nodes,
+        seed=seed, reorder_params=reorder_params,
     )
     return _engine_or_default(engine).run(specs)
 

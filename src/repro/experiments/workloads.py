@@ -15,7 +15,9 @@ from ..traffic import (
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
+    IncastConfig,
     RadixSortConfig,
+    RpcFanoutConfig,
     SyntheticConfig,
     TrafficSpec,
 )
@@ -50,6 +52,16 @@ def radix_sort(config: Optional[RadixSortConfig] = None) -> TrafficSpec:
 def hotspot(config: Optional[HotSpotConfig] = None) -> TrafficSpec:
     """Hot-spot traffic (Section 1 / Section 5's dynamic bandwidth matching)."""
     return TrafficSpec("hotspot", config)
+
+
+def incast(config: Optional[IncastConfig] = None) -> TrafficSpec:
+    """Synchronised many-to-one bursts (the datacenter incast pattern)."""
+    return TrafficSpec("incast", config)
+
+
+def rpc_fanout(config: Optional[RpcFanoutConfig] = None) -> TrafficSpec:
+    """Partition-aggregate RPC: scatter requests, gather the reply burst."""
+    return TrafficSpec("rpc", config)
 
 
 def perf_reference_spec(

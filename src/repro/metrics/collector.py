@@ -33,6 +33,13 @@ class MetricsCollector:
         self.abandoned = 0
         self.network_latency = LatencyHistogram()   # injection -> accept
         self.total_latency = LatencyHistogram()     # creation -> accept
+        #: Reorder depth at ejection: how many packets of the same
+        #: (src, dst) stream overtook this one in the network (0 on an
+        #: in-order fabric).  Measured on first copies only -- a
+        #: retransmission arriving late is recovery, not reordering.
+        self.reorder_depth = LatencyHistogram()
+        self.reorder_depth_by_pair: Dict[Tuple[int, int], LatencyHistogram] = {}
+        self._eject_head: Dict[Tuple[int, int], int] = {}
         self.pending_per_receiver: List[int] = [0] * num_nodes
         self.order_violations = 0
         self._last_pair_seq: Dict[Tuple[int, int], int] = {}
@@ -46,6 +53,7 @@ class MetricsCollector:
             nic.on_accept = self.note_accept
             nic.on_inject = self.note_inject
             nic.on_abandon = self.note_abandon
+            nic.on_eject = self.note_eject
         for proc in processors:
             proc.on_send = self.note_send
 
@@ -72,6 +80,24 @@ class MetricsCollector:
         self.abandoned += 1
         if packet.injected_cycle >= 0:
             self.pending_per_receiver[packet.dst] -= 1
+
+    def note_eject(self, packet: Packet) -> None:
+        """Tail flit assembled at the destination NIC: measure how far out
+        of send order the network delivered this packet."""
+        if packet.is_retransmission or packet.pair_seq < 0:
+            return
+        key = (packet.src, packet.dst)
+        head = self._eject_head.get(key, -1)
+        if packet.pair_seq >= head:
+            self._eject_head[key] = packet.pair_seq
+            depth = 0
+        else:
+            depth = head - packet.pair_seq
+        self.reorder_depth.note(depth)
+        pair_hist = self.reorder_depth_by_pair.get(key)
+        if pair_hist is None:
+            pair_hist = self.reorder_depth_by_pair[key] = LatencyHistogram()
+        pair_hist.note(depth)
 
     def note_accept(self, packet: Packet) -> None:
         self.delivered += 1

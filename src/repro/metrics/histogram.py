@@ -10,8 +10,9 @@ per-packet record.
 
 The exact ``count``/``total``/``maximum`` are tracked alongside the
 buckets, so ``mean`` and ``max`` are exact; percentiles are upper bounds
-of their bucket (at most 2x the true value), which is the right fidelity
-for the paper's latency scales (hundreds to tens of thousands of cycles).
+of their bucket (at most 2x the true value), clamped to the exact maximum
+-- the right fidelity for the paper's latency scales (hundreds to tens of
+thousands of cycles).
 """
 
 from __future__ import annotations
@@ -57,7 +58,9 @@ class LatencyHistogram:
         for bucket in sorted(self._buckets):
             seen += self._buckets[bucket]
             if seen >= target:
-                return (1 << (bucket + 1)) - 1
+                # the exact maximum is a tighter upper bound than the top
+                # bucket's edge (it also keeps p99 <= max in reports)
+                return min((1 << (bucket + 1)) - 1, self.maximum)
         return self.maximum
 
     @property

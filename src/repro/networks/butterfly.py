@@ -68,16 +68,28 @@ def build_butterfly(
     rng: Optional[random.Random] = None,
     drop_prob: float = 0.0,
     drop_rng=None,
+    spray: bool = False,
+    path_skew: int = 0,
 ) -> Network:
-    """Build a radix-k, ``stages``-stage (multi)butterfly of ``k**stages`` nodes."""
+    """Build a radix-k, ``stages``-stage (multi)butterfly of ``k**stages`` nodes.
+
+    ``spray=True`` makes dilated stages commit each packet to one random
+    copy (oblivious spraying) instead of adaptively taking the first free
+    one; ``path_skew`` adds a uniform extra per-hop routing latency in
+    ``[0, path_skew]`` cycles (see :func:`repro.networks.build_fattree`).
+    """
     if not 1 <= dilation <= k:
         raise ValueError(f"dilation must be in 1..{k} (the radix)")
+    if path_skew < 0:
+        raise ValueError("path_skew must be >= 0")
     rng = rng or random.Random(0)
     num_nodes = k ** stages
     switches_per_stage = num_nodes // k
     layout = vc_layout(vcs_per_net)
     vc_count = len(layout)
     name = "butterfly" if dilation == 1 else "multibutterfly"
+    if spray:
+        name = f"spraying {name}"
     net = Network(
         sim, f"{name} ({num_nodes})", num_nodes,
         delivers_in_order=(dilation == 1 and vcs_per_net == 1),
@@ -109,6 +121,8 @@ def build_butterfly(
             link = router.out_links[out_digit * dilation + copy]
             choices.append((link, link.vcs_for_net(packet.logical_net)))
         if len(choices) > 1:
+            if spray:
+                return [choices[rng.randrange(len(choices))]]
             rng.shuffle(choices)
         return choices
 
@@ -118,6 +132,9 @@ def build_butterfly(
         row = []
         for index in range(switches_per_stage):
             router = Router(sim, rid, route, route_delay=route_delay)
+            if path_skew:
+                router.route_jitter = path_skew
+                router.jitter_rng = rng
             router_meta[rid] = (stage, index)
             net.add_router(router)
             row.append(router)

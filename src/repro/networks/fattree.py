@@ -72,8 +72,23 @@ def build_fattree(
     rng: Optional[random.Random] = None,
     drop_prob: float = 0.0,
     drop_rng=None,
+    spray: bool = False,
+    path_skew: int = 0,
+    vcs_per_net: int = 1,
 ) -> Network:
-    """Build a k-ary n-tree with ``k**levels`` nodes."""
+    """Build a k-ary n-tree with ``k**levels`` nodes.
+
+    ``spray=True`` switches the adaptive up-path from first-free-choice to
+    per-packet spraying: each packet commits to ONE uniformly random up
+    port and waits for it, so same-pair packets genuinely diverge onto
+    different paths (and reorder) even under light load.  ``path_skew``
+    adds a uniform extra routing latency in ``[0, path_skew]`` cycles per
+    hop, skewing path latencies so reordering shows up in-network.
+    """
+    if path_skew < 0:
+        raise ValueError("path_skew must be >= 0")
+    if vcs_per_net < 1:
+        raise ValueError("vcs_per_net must be >= 1")
     if variant not in (FULL, CM5):
         raise ValueError(f"unknown fat-tree variant {variant!r}")
     if mode == STORE_AND_FORWARD and buffer_flits is None:
@@ -87,14 +102,15 @@ def build_fattree(
     meta = _FatTreeMeta(k, levels, up_choices, sublinks)
 
     if variant == CM5:
+        if vcs_per_net != 1:
+            raise ValueError("the CM-5 time-mux model is single-VC per net")
         name = f"cm5 fat tree ({num_nodes})"
-        vcs_per_net = 1
         width = 1  # nominal; real pacing set via cycles_per_flit below
         cycles_per_flit = 16  # 32-bit flit at 8 bits per 2 cycles, per net
     else:
         mode_name = "s&f " if mode == STORE_AND_FORWARD else ""
-        name = f"{mode_name}full fat tree ({num_nodes})"
-        vcs_per_net = 1
+        spray_name = "spraying " if spray else ""
+        name = f"{spray_name}{mode_name}full fat tree ({num_nodes})"
         width = 1
         cycles_per_flit = None
 
@@ -126,6 +142,10 @@ def build_fattree(
             port = meta.port(k + up, packet.logical_net)
             link = router.out_links[port]
             choices.append((link, link.vcs_for_net(packet.logical_net)))
+        if spray:
+            # Packet spraying: commit to one random up port (oblivious),
+            # rather than adaptively taking the first free one.
+            return [choices[rng.randrange(len(choices))]]
         rng.shuffle(choices)
         return choices
 
@@ -137,6 +157,9 @@ def build_fattree(
             router = Router(
                 sim, next_rid, route, mode=mode, route_delay=route_delay
             )
+            if path_skew:
+                router.route_jitter = path_skew
+                router.jitter_rng = rng
             meta.router_meta[next_rid] = (level, digits)
             routers[(level, digits)] = router
             net.add_router(router)

@@ -42,8 +42,15 @@ NETWORK_NAMES = (
 )
 
 #: Extension topologies (Section 6.3 future work), not part of the paper's
-#: Table 3 set but buildable by name.
-EXTENSION_NETWORK_NAMES = ("mesh2d-adaptive",)
+#: Table 3 set but buildable by name.  The ``-spray`` variants are the
+#: modern-datacenter scenario pack's multipath fabrics: per-packet spraying
+#: up-paths (plus an optional ``path_skew`` override) so packets genuinely
+#: reorder in-network.
+EXTENSION_NETWORK_NAMES = (
+    "mesh2d-adaptive",
+    "fattree-spray",
+    "multibutterfly-spray",
+)
 
 
 def _square_dims(num_nodes: int):
@@ -97,6 +104,15 @@ def build_network(
             sim, levels=_log_k(num_nodes, 4), variant=FULL, rng=rng,
             **common, **overrides,
         )
+    if name == "fattree-spray":
+        # Two VCs per logical net so same-pair packets are concurrently in
+        # flight (one VC would serialise them at the source leaf and no
+        # reordering could ever happen).
+        overrides.setdefault("vcs_per_net", 2)
+        return build_fattree(
+            sim, levels=_log_k(num_nodes, 4), variant=FULL, rng=rng,
+            spray=True, **common, **overrides,
+        )
     if name == "fattree-sf":
         return build_fattree(
             sim, levels=_log_k(num_nodes, 4), variant=FULL,
@@ -116,6 +132,12 @@ def build_network(
         return build_butterfly(
             sim, stages=_log_k(num_nodes, 4), dilation=2, rng=rng,
             **common, **overrides,
+        )
+    if name == "multibutterfly-spray":
+        overrides.setdefault("vcs_per_net", 2)
+        return build_butterfly(
+            sim, stages=_log_k(num_nodes, 4), dilation=2, rng=rng,
+            spray=True, **common, **overrides,
         )
     raise ValueError(
         f"unknown network {name!r}; choose from "

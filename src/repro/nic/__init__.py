@@ -11,9 +11,19 @@ from .nifdy import NifdyNIC, NifdyParams
 from .opt import OutstandingPacketTable
 from .plain import BufferedNIC, PlainNIC
 from .pool import OutgoingPool
+from .reorder import (
+    REORDER_NIC_MODES,
+    REORDER_POLICIES,
+    ReorderParams,
+    ReorderTolerantNIC,
+)
 from .retransmit import RetransmittingNifdyNIC
 
 __all__ = [
+    "REORDER_NIC_MODES",
+    "REORDER_POLICIES",
+    "ReorderParams",
+    "ReorderTolerantNIC",
     "BaseNIC",
     "BufferedNIC",
     "BulkReceiverDialog",

@@ -119,16 +119,29 @@ class Processor:
         for fn, args in held:
             self.sim.post(0, fn, *args)
 
+    # ---------------------------------------------------------- reception
+    @property
+    def receive_in_order(self) -> bool:
+        """Whether software may rely on per-sender in-order delivery: either
+        the fabric preserves order or the NIC restores it.  The single
+        source of truth for every receive site, so a NIC variant cannot
+        desynchronise the main loop from the poll loops."""
+        return self.nic.guarantees_order or self.network_in_order
+
+    def _begin_receive(self, mid_poll: bool) -> None:
+        """Pop the next arrival and pay the receive overhead."""
+        packet = self.nic.receive()
+        cost = self.timing.receive_cost(
+            packet.msg_len, self.receive_in_order, self.exploit_inorder
+        )
+        self._mid_receive = mid_poll
+        self._busy(cost, self._received, packet)
+
     # ------------------------------------------------------------ main loop
     def _step(self) -> None:
         # Receiving takes priority: polling found a packet.
         if self.nic.has_arrival():
-            packet = self.nic.receive()
-            in_order = self.nic.guarantees_order or self.network_in_order
-            cost = self.timing.receive_cost(
-                packet.msg_len, in_order, self.exploit_inorder
-            )
-            self._busy(cost, self._received, packet)
+            self._begin_receive(mid_poll=False)
             return
         action = self._pending
         if action is None:
@@ -198,13 +211,7 @@ class Processor:
             self._step()
             return
         if self.nic.has_arrival():
-            packet = self.nic.receive()
-            in_order = self.nic.guarantees_order or self.network_in_order
-            cost = self.timing.receive_cost(
-                packet.msg_len, in_order, self.exploit_inorder
-            )
-            self._mid_receive = True
-            self._busy(cost, self._received, packet)
+            self._begin_receive(mid_poll=True)
         else:
             self._busy(self.timing.t_poll, self._deadline_poll)
 
@@ -213,13 +220,7 @@ class Processor:
         if not self._in_barrier:
             return
         if self.nic.has_arrival():
-            packet = self.nic.receive()
-            in_order = self.nic.guarantees_order or self.network_in_order
-            cost = self.timing.receive_cost(
-                packet.msg_len, in_order, self.exploit_inorder
-            )
-            self._mid_receive = True
-            self._busy(cost, self._received, packet)
+            self._begin_receive(mid_poll=True)
         else:
             self._busy(self.timing.t_poll, self._barrier_poll)
 

@@ -78,6 +78,10 @@ class AckInfo:
     dialog_terminated: bool = False
     acked_seq: Optional[int] = None
     acked_bit: Optional[int] = None   # retx-bit of the scalar packet acked
+    #: Eunomia-style selective ack: stream sequence numbers held in the
+    #: receiver's reorder buffer beyond the cumulative ack (a bitmap in
+    #: hardware; a tuple here).  ``None`` on cumulative-only receivers.
+    sack: Optional[tuple] = None
 
 
 @dataclass
@@ -100,6 +104,10 @@ class Packet:
     seq: Optional[int] = None          # bulk sequence number
     dialog: Optional[int] = None       # bulk dialog number
     retx_bit: int = 0                  # duplicate detection (Section 6.2)
+    #: Reorder-tolerant receivers: the sender's lowest unacked stream seq at
+    #: transmit time.  Lets a receiver skip holes the sender abandoned (the
+    #: stream analogue of NIFDY's dialog teardown).
+    stream_base: Optional[int] = None
     is_retransmission: bool = False
     control_only: bool = False         # NIC-generated, never shown to processor
     ack: Optional[AckInfo] = None      # set when kind == ACK

@@ -15,6 +15,7 @@ arrive out of order -- the situation NIFDY's reordering handles.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -103,11 +104,14 @@ class InputUnit(FlitFeeder):
         if not transit.route_ready:
             if not transit.routing_scheduled:
                 transit.routing_scheduled = True
+                delay = self.router.route_delay
+                if self.router.route_jitter:
+                    delay += self.router.jitter_rng.randrange(
+                        self.router.route_jitter + 1
+                    )
                 # post(): route completions fire once per packet per hop and
                 # are never cancelled, so the events are pool-recycled.
-                self.router.sim.post(
-                    self.router.route_delay, self._route_done, transit
-                )
+                self.router.sim.post(delay, self._route_done, transit)
             return
         self._try_allocate(transit)
 
@@ -203,6 +207,12 @@ class Router(FlitSink):
         self.route_fn = route_fn
         self.mode = mode
         self.route_delay = route_delay
+        #: Path-skew jitter: each hop's routing takes ``route_delay`` plus a
+        #: uniform extra in ``[0, route_jitter]`` cycles drawn from
+        #: ``jitter_rng``.  Same-VC flit order is unaffected (routing is
+        #: per-packet), so this skews *paths*, not flit streams.
+        self.route_jitter = 0
+        self.jitter_rng: Optional[random.Random] = None
         self._input_units: Dict[int, List[InputUnit]] = {}
         self.out_links: Dict[int, Link] = {}
         #: Protocol event bus; None = un-instrumented (the common case).

@@ -3,6 +3,7 @@
 from .cshift import CShiftConfig, CShiftDriver
 from .em3d import Em3dConfig, Em3dDriver
 from .hotspot import HotSpotConfig, HotSpotDriver
+from .incast import IncastConfig, IncastDriver, RpcDriver, RpcFanoutConfig
 from .messages import PacketFactory
 from .pairstream import PairStreamConfig, PairStreamDriver
 from .radix_sort import RadixSortConfig, RadixSortDriver
@@ -16,11 +17,15 @@ __all__ = [
     "Em3dDriver",
     "HotSpotConfig",
     "HotSpotDriver",
+    "IncastConfig",
+    "IncastDriver",
     "PacketFactory",
     "PairStreamConfig",
     "PairStreamDriver",
     "RadixSortConfig",
     "RadixSortDriver",
+    "RpcDriver",
+    "RpcFanoutConfig",
     "SyntheticConfig",
     "SyntheticDriver",
     "TrafficSpec",

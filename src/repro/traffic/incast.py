@@ -1,0 +1,293 @@
+"""Modern-datacenter scenario pack: incast and RPC fan-out/fan-in traffic.
+
+The paper's hot-spot workload already converges many senders on one node,
+but it does so *statistically*: each sender independently biases a fraction
+of its uniform traffic toward the hot node.  Datacenter incast is harsher --
+many senders fire a burst at the same sink *simultaneously* (a storage
+read striped over N servers, a partition-aggregate query) -- and RPC
+fan-out/fan-in adds the reverse dependency: a root cannot make progress
+until the replies converge back on it.
+
+Both drivers here are deliberately round-structured so the bursts are
+synchronised (that is what makes incast collapse) and both survive graceful
+degradation: when a NIC abandons packets after retry exhaustion, the root
+gives up on a round after a bounded wait instead of polling forever, and
+workers that stop hearing requests retire themselves.  That bounded-wait
+discipline is what lets the chaos engine fault these workloads without
+wedging the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..node import Action, Done, PollFor, Send, TrafficDriver, WaitBarrier
+from ..packets import Packet, SYNTHETIC_PACKET_WORDS
+from ..sim import RngFactory
+from .messages import PacketFactory
+
+
+def _lowest_ids(num_nodes: int, exclude: int, count: int) -> Tuple[int, ...]:
+    """The ``count`` lowest node ids excluding ``exclude`` (deterministic, so
+    every node derives the same participant set without coordination)."""
+    ids = [n for n in range(num_nodes) if n != exclude]
+    return tuple(ids[:count])
+
+
+# --------------------------------------------------------------------------
+# Incast: synchronised many-to-one bursts.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IncastConfig:
+    """Synchronised many-to-one bursts at a single sink.
+
+    Each round, every sender fires a ``packets_per_round``-packet message at
+    ``sink`` at the same time (a barrier separates rounds when
+    ``sync_rounds`` is set, which is what produces the simultaneous burst).
+    ``fan_in`` selects how many senders participate; 0 means every node but
+    the sink.
+    """
+
+    sink: int = 0
+    fan_in: int = 0               # 0 = all other nodes send
+    rounds: int = 4
+    packets_per_round: int = 8
+    sync_rounds: bool = True      # barrier between rounds -> true incast burst
+    bulk_threshold: int = 4
+    packet_words: int = SYNTHETIC_PACKET_WORDS
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+        if self.packets_per_round < 1:
+            raise ValueError("need at least one packet per round")
+        if self.fan_in < 0:
+            raise ValueError("fan_in cannot be negative")
+
+
+class IncastDriver(TrafficDriver):
+    """Per-node driver: senders burst at the sink each round; everyone
+    participates in the round barriers so the bursts stay synchronised."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: IncastConfig,
+        rng_factory: RngFactory = None,
+        exploit_inorder: bool = False,
+    ):
+        if config.sink >= num_nodes:
+            raise ValueError("sink is not a node of this network")
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        fan_in = config.fan_in or (num_nodes - 1)
+        self.senders = _lowest_ids(num_nodes, config.sink, fan_in)
+        self.is_sender = node_id in self.senders
+        self.is_sink = node_id == config.sink
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=config.bulk_threshold,
+            exploit_inorder=exploit_inorder,
+        )
+        self._queue: List[Packet] = []
+        self._round = 0
+        self._barrier_owed = False
+        self.sink_received = 0
+
+    def next_action(self) -> Action:
+        cfg = self.config
+        while True:
+            if self._queue:
+                return Send(self._queue.pop(0))
+            if self._barrier_owed:
+                self._barrier_owed = False
+                return WaitBarrier()
+            if self._round >= cfg.rounds:
+                return Done()
+            self._round += 1
+            if self.is_sender:
+                self._queue = self.factory.message(
+                    cfg.sink, cfg.packets_per_round
+                )
+            if cfg.sync_rounds:
+                # Everyone (sink and bystanders included) joins the barrier,
+                # so the next burst starts only once this one is absorbed.
+                self._barrier_owed = True
+            elif not self.is_sender:
+                self._round = cfg.rounds  # nothing to pace; retire now
+
+    def on_packet(self, packet: Packet) -> None:
+        if self.is_sink:
+            self.sink_received += 1
+
+
+# --------------------------------------------------------------------------
+# RPC fan-out/fan-in: scatter requests, gather replies.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class RpcFanoutConfig:
+    """Partition-aggregate RPC: a root scatters requests, workers reply.
+
+    Each round the root sends a ``request_packets``-packet request to each
+    of ``fanout`` workers and then polls until the *cumulative* reply count
+    catches up (every worker reply is ``reply_packets`` long -- the fan-in
+    burst) or ``give_up_after`` cycles pass.  Cumulative accounting means a
+    straggler's late reply still counts, and abandoned requests (reported
+    through :meth:`TrafficDriver.on_abandoned`) shrink the expectation so
+    graceful degradation cannot wedge the root.  Workers that stop hearing
+    requests retire after ``give_up_after`` idle cycles and, once retired,
+    never queue another reply.
+    """
+
+    root: int = 0
+    fanout: int = 4
+    rounds: int = 4
+    request_packets: int = 1
+    reply_packets: int = 4
+    poll_chunk: int = 200           # PollFor granularity while waiting
+    give_up_after: int = 60_000     # bounded wait; < the chaos watchdog
+    bulk_threshold: int = 4
+    packet_words: int = SYNTHETIC_PACKET_WORDS
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1 or self.rounds < 1:
+            raise ValueError("need at least one worker and one round")
+        if self.request_packets < 1 or self.reply_packets < 1:
+            raise ValueError("requests and replies need at least one packet")
+        if self.poll_chunk < 1 or self.give_up_after < 1:
+            raise ValueError("poll_chunk and give_up_after must be positive")
+
+
+class RpcDriver(TrafficDriver):
+    """Root scatters, waits (boundedly) for the gathered replies; workers
+    answer each completed request with a reply burst."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: RpcFanoutConfig,
+        rng_factory: RngFactory = None,
+        exploit_inorder: bool = False,
+    ):
+        if config.root >= num_nodes:
+            raise ValueError("root is not a node of this network")
+        if config.fanout > num_nodes - 1:
+            raise ValueError("fanout exceeds the available workers")
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.workers = _lowest_ids(num_nodes, config.root, config.fanout)
+        self.is_root = node_id == config.root
+        self.is_worker = node_id in self.workers
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=config.bulk_threshold,
+            exploit_inorder=exploit_inorder,
+        )
+        self._queue: List[Packet] = []
+        # Root state: cumulative reply accounting (a straggler's late reply
+        # for round r still counts toward round r+1's target).
+        self._round = 0
+        self._deadline = None
+        self.reply_packets_received = 0
+        self._expected_replies = 0
+        self.rounds_given_up = 0
+        # Worker state.
+        self._req_progress: Dict[int, int] = {}   # msg_id -> packets seen
+        self.requests_completed = 0
+        self._gave_up = False
+        self._last_activity = 0
+
+    # ----------------------------------------------------------------- root
+    def _root_action(self) -> Action:
+        cfg = self.config
+        while True:
+            if self._queue:
+                return Send(self._queue.pop(0))
+            if self._deadline is not None:
+                if self.reply_packets_received >= self._expected_replies:
+                    self._deadline = None       # round gathered; move on
+                    continue
+                if self.proc.sim.now >= self._deadline:
+                    self._deadline = None       # bounded wait: give up
+                    self.rounds_given_up += 1
+                    # Stop expecting this round's stragglers so a *later*
+                    # round is not satisfied by them alone.
+                    self._expected_replies = self.reply_packets_received
+                    continue
+                return PollFor(cfg.poll_chunk)
+            if self._round >= cfg.rounds:
+                return Done()
+            self._round += 1
+            for worker in self.workers:
+                self._queue.extend(
+                    self.factory.message(worker, cfg.request_packets)
+                )
+                self._expected_replies += cfg.reply_packets
+            self._deadline = self.proc.sim.now + cfg.give_up_after
+            if self._queue:  # recompute deadline after the sends finish? no:
+                # the give-up window is generous enough to cover send time.
+                return Send(self._queue.pop(0))
+
+    # --------------------------------------------------------------- worker
+    def _worker_action(self) -> Action:
+        cfg = self.config
+        if self._queue:
+            self._last_activity = self.proc.sim.now
+            return Send(self._queue.pop(0))
+        if self.requests_completed >= cfg.rounds or self._gave_up:
+            return Done()
+        if self.proc.sim.now - self._last_activity >= cfg.give_up_after:
+            # The root abandoned a request (or its NIC did): no more work is
+            # coming.  Retire -- and never queue another reply -- so a done
+            # worker cannot race the run-completion check.
+            self._gave_up = True
+            return Done()
+        return PollFor(cfg.poll_chunk)
+
+    def next_action(self) -> Action:
+        if self.is_root:
+            return self._root_action()
+        if self.is_worker:
+            return self._worker_action()
+        return Done()
+
+    def on_packet(self, packet: Packet) -> None:
+        if self.is_root:
+            if packet.src in self.workers:
+                self.reply_packets_received += 1
+            return
+        if not self.is_worker or packet.src != self.config.root:
+            return
+        self._last_activity = self.proc.sim.now
+        if self._gave_up:
+            return
+        seen = self._req_progress.get(packet.msg_id, 0) + 1
+        if seen < packet.msg_len:
+            self._req_progress[packet.msg_id] = seen
+            return
+        self._req_progress.pop(packet.msg_id, None)
+        self.requests_completed += 1
+        self._queue.extend(
+            self.factory.message(self.config.root, self.config.reply_packets)
+        )
+
+    def on_abandoned(self, packet: Packet) -> None:
+        if self.is_root and packet.dst in self.workers:
+            # The request died at our own NIC: that worker will never see it,
+            # so stop waiting for the reply it would have produced.  (A
+            # worker's abandoned reply is covered by the give-up deadline.)
+            self._expected_replies = max(
+                self.reply_packets_received,
+                self._expected_replies - self.config.reply_packets,
+            )

@@ -24,6 +24,7 @@ from typing import Callable, Dict, NamedTuple, Optional, Tuple
 from .cshift import CShiftConfig, CShiftDriver
 from .em3d import Em3dConfig, Em3dDriver
 from .hotspot import HotSpotConfig, HotSpotDriver
+from .incast import IncastConfig, IncastDriver, RpcDriver, RpcFanoutConfig
 from .pairstream import PairStreamConfig, PairStreamDriver
 from .radix_sort import RadixSortConfig, RadixSortDriver
 from .synthetic import SyntheticConfig, SyntheticDriver
@@ -173,4 +174,12 @@ register_traffic(
 register_traffic(
     "pairstream", PairStreamConfig,
     lambda node, n, cfg, rngf, exploit: PairStreamDriver(node, n, cfg, rngf, exploit),
+)
+register_traffic(
+    "incast", IncastConfig,
+    lambda node, n, cfg, rngf, exploit: IncastDriver(node, n, cfg, rngf, exploit),
+)
+register_traffic(
+    "rpc", RpcFanoutConfig,
+    lambda node, n, cfg, rngf, exploit: RpcDriver(node, n, cfg, rngf, exploit),
 )

@@ -39,15 +39,17 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..faults import FaultEvent, FaultPlan
 from ..networks import build_network
-from ..nic import NifdyParams
+from ..nic import REORDER_NIC_MODES, NifdyParams, ReorderParams
 from ..obs import Observability
 from ..sim import Simulator
 from ..traffic import (
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
+    IncastConfig,
     PairStreamConfig,
     RadixSortConfig,
+    RpcFanoutConfig,
     SyntheticConfig,
     TrafficSpec,
 )
@@ -67,6 +69,12 @@ class ChaosConfig:
     num_nodes: int = 16
     #: Registry names to draw workloads from.
     traffics: Tuple[str, ...] = ("cshift", "radix", "hotspot", "pairstream")
+    #: NIC modes to draw from per trial (the scenario pack mixes the
+    #: reorder-tolerant receivers in here on spraying fabrics).
+    nic_modes: Tuple[str, ...] = ("nifdy",)
+    #: Per-hop path-skew jitters to draw from (cycles; needs a network
+    #: whose builder accepts ``path_skew``, i.e. the ``-spray`` fabrics).
+    path_skews: Tuple[int, ...] = (0,)
     #: Fault events per trial drawn from 1..max_faults.
     max_faults: int = 3
     #: Every fault starts and ends inside [0, fault_window) so recovery has
@@ -291,6 +299,18 @@ class ChaosEngine:
             )
         elif name == "em3d":
             cfg = Em3dConfig.light_communication(scale=0.05, iterations=1)
+        elif name == "incast":
+            cfg = IncastConfig(
+                rounds=rng.choice((2, 3)),
+                packets_per_round=rng.choice((4, 8)),
+                fan_in=rng.choice((0, max(1, n // 2))),
+            )
+        elif name == "rpc":
+            cfg = RpcFanoutConfig(
+                fanout=rng.choice((4, n - 1)),
+                rounds=rng.choice((2, 3)),
+                reply_packets=rng.choice((2, 4)),
+            )
         elif name in ("heavy", "light"):
             cfg = SyntheticConfig(
                 heavy=name == "heavy",
@@ -331,6 +351,14 @@ class ChaosEngine:
             window=rng.choice((2, 4, 8)),
         )
 
+    def _random_reorder_params(self, rng: random.Random) -> ReorderParams:
+        tx_window = rng.choice((4, 8))
+        return ReorderParams(
+            tx_window=tx_window,
+            rx_window=rng.choice((tx_window, 2 * tx_window)),
+            cache_capacity=rng.choice((0, 4, 16)),
+        )
+
     def trial_spec(self, trial: int) -> ExperimentSpec:
         """The (deterministic) spec for trial number ``trial``."""
         rng = self._trial_rng(trial)
@@ -339,17 +367,27 @@ class ChaosEngine:
             [self._random_fault(rng)
              for _ in range(rng.randint(1, cfg.max_faults))]
         )
+        traffic = self._random_traffic(rng)
+        params = self._random_params(rng)
+        nic_mode = rng.choice(cfg.nic_modes)
+        reorder_params = (
+            self._random_reorder_params(rng)
+            if nic_mode in REORDER_NIC_MODES else None
+        )
+        skew = rng.choice(cfg.path_skews)
         return ExperimentSpec(
             network=cfg.network,
-            traffic=self._random_traffic(rng),
+            traffic=traffic,
             num_nodes=cfg.num_nodes,
-            nic_mode="nifdy",
-            nifdy_params=self._random_params(rng),
+            nic_mode=nic_mode,
+            nifdy_params=params,
+            reorder_params=reorder_params,
             seed=cfg.seed * 7_919 + trial,
             max_cycles=cfg.max_cycles,
             watchdog_cycles=cfg.watchdog_cycles,
             max_retries=cfg.max_retries,
             fault_plan=plan,
+            network_overrides={"path_skew": skew} if skew else None,
             observe=Observability(validate=True),
             label=f"chaos-{cfg.seed}-{trial}",
         )

@@ -22,7 +22,8 @@ Invariants checked
 
 ``exactly_once``      an ``accept`` event fires at most once per packet uid
 ``in_order``          per-(src, dst) ``pair_seq`` at accept is increasing
-                      (only when the NIC/topology guarantees order)
+                      (gated per *receiver*: checked when the fabric
+                      preserves order or that node's NIC restores it)
 ``opt_bound``         OPT occupancy never exceeds O
 ``pool_bound``        pool occupancy never exceeds B
 ``dialog_bound``      concurrent receiver dialogs never exceed D
@@ -30,6 +31,18 @@ Invariants checked
 ``ack_conservation``  acks consumed never exceed acks generated (end-of-run)
 ``no_silent_loss``    every injected packet is eventually accepted or
                       explicitly abandoned (end-of-run, completed runs only)
+
+Reorder-tolerant receivers (:class:`~repro.nic.ReorderTolerantNIC`) add:
+
+``reorder_window_bound``  per-source reorder buffers stay inside
+                          ``[expect, expect + rx_window)`` and never exceed
+                          ``rx_window`` packets
+``bitmap_conservation``   the advertised SACK bitmap exactly mirrors the
+                          reorder buffer (bitmap policy)
+``no_cache_leak``         the cache occupancy counter matches the buffers, a
+                          ``dropcache`` receiver never exceeds its capacity,
+                          and nothing is still cached at the end of a
+                          completed run unless its sender abandoned it
 """
 
 from __future__ import annotations
@@ -50,6 +63,9 @@ INVARIANTS = (
     "window_bound",
     "ack_conservation",
     "no_silent_loss",
+    "reorder_window_bound",
+    "bitmap_conservation",
+    "no_cache_leak",
 )
 
 
@@ -119,8 +135,10 @@ class InvariantMonitor:
         check_order: bool = True,
         strict: bool = False,
         max_violations: int = 100,
+        fabric_in_order: bool = False,
     ):
         self.check_order = check_order
+        self.fabric_in_order = fabric_in_order
         self.strict = strict
         self.max_violations = max_violations
         self.violations: List[Violation] = []
@@ -198,6 +216,8 @@ class InvariantMonitor:
         self._accepted[event.uid] = event.cycle
         if not self.check_order or event.seq < 0:
             return
+        if not self._order_expected(event.node):
+            return
         key = (event.src, event.dst)
         last = self._last_seq.get(key, -1)
         if event.seq <= last:
@@ -210,6 +230,20 @@ class InvariantMonitor:
         else:
             self._last_seq[key] = event.seq
 
+    def _order_expected(self, node: int) -> bool:
+        """Per-receiver gating: in-order delivery is a checkable guarantee
+        when the fabric preserves order, or when *this* node's NIC restores
+        it (duck-typed capability) -- so a reorder-tolerant receiver on a
+        spraying fabric is still held to eventual in-order delivery, while a
+        plain NIC on the same fabric is exempt."""
+        if self.fabric_in_order:
+            return True
+        if 0 <= node < len(self._nics):
+            return bool(getattr(self._nics[node], "guarantees_order", False))
+        # No NICs registered (bus-only attachment): trust the caller's
+        # check_order flag, as the pre-per-receiver monitor did.
+        return True
+
     # ----------------------------------------------------- resource bounds
     def _check_node_state(self, nic, event: Optional[ObsEvent]) -> None:
         """Resource-bound invariants on one NIC, read-only.
@@ -219,6 +253,9 @@ class InvariantMonitor:
         """
         cycle = event.cycle if event is not None else -1
         node = getattr(nic, "node_id", -1)
+        streams = getattr(nic, "reorder_rx", None)
+        if streams is not None:
+            self._check_reorder_state(nic, streams, event, cycle, node)
         params = getattr(nic, "params", None)
         if params is None:
             return
@@ -253,6 +290,51 @@ class InvariantMonitor:
                         src=dialog.src, event=event,
                     ), once_key=("window_bound", node, dialog.dialog))
 
+    def _check_reorder_state(self, nic, streams, event, cycle, node) -> None:
+        """Reorder-tolerant receiver invariants, read-only (duck-typed on
+        the ``reorder_rx`` capability)."""
+        rp = nic.reorder_params
+        buffered = 0
+        for src, st in streams.items():
+            buffered += len(st.buffer)
+            if st.buffer:
+                lo, hi = min(st.buffer), max(st.buffer)
+                if (
+                    len(st.buffer) > rp.rx_window
+                    or lo < st.expect
+                    or hi >= st.expect + rp.rx_window
+                ):
+                    self._flag(Violation(
+                        "reorder_window_bound", cycle, node,
+                        f"reorder buffer for src {src} holds "
+                        f"{len(st.buffer)} seqs in [{lo}, {hi}] with "
+                        f"expect={st.expect}, rx_window={rp.rx_window}",
+                        src=src, event=event,
+                    ), once_key=("reorder_window_bound", node, src))
+            if nic.policy == "bitmap" and st.bitmap != set(st.buffer):
+                self._flag(Violation(
+                    "bitmap_conservation", cycle, node,
+                    f"SACK bitmap for src {src} advertises "
+                    f"{sorted(st.bitmap)} but the buffer holds "
+                    f"{sorted(st.buffer)}",
+                    src=src, event=event,
+                ), once_key=("bitmap_conservation", node, src))
+        cached = getattr(nic, "reorder_cached", buffered)
+        if cached != buffered:
+            self._flag(Violation(
+                "no_cache_leak", cycle, node,
+                f"cache occupancy counter says {cached} but the stream "
+                f"buffers hold {buffered}",
+                event=event,
+            ), once_key=("no_cache_leak", node))
+        elif nic.policy == "dropcache" and cached > rp.cache_capacity:
+            self._flag(Violation(
+                "no_cache_leak", cycle, node,
+                f"dropcache receiver holds {cached} out-of-order packets, "
+                f"capacity {rp.cache_capacity}",
+                event=event,
+            ), once_key=("no_cache_leak", node))
+
     # --------------------------------------------------- end-of-run checks
     def finish(self, check_loss: bool = True, cycle: int = -1) -> List[Violation]:
         """Run the checks that only settle when the run does.
@@ -278,6 +360,29 @@ class InvariantMonitor:
                 "generated: acks materialised from nowhere",
             ))
         if check_loss:
+            # A completed run must not end with live packets parked in a
+            # reorder buffer: everything cached was either delivered (and
+            # hence removed) or written off by its sender's abandonment.
+            for nic in self._nics:
+                streams = getattr(nic, "reorder_rx", None)
+                if streams is None:
+                    continue
+                node = getattr(nic, "node_id", -1)
+                for src, st in streams.items():
+                    leaked = [
+                        p for p in st.buffer.values() if p.abandoned_cycle < 0
+                    ]
+                    if st.stalled is not None and (
+                        st.stalled[0].abandoned_cycle < 0
+                    ):
+                        leaked.append(st.stalled[0])
+                    for packet in leaked:
+                        self._flag(Violation(
+                            "no_cache_leak", cycle, node,
+                            f"seq {packet.seq} from {src} still cached at "
+                            "run end, never delivered nor abandoned",
+                            uid=packet.uid, src=packet.src, dst=packet.dst,
+                        ))
             lost = [
                 (uid, meta) for uid, meta in self._injected.items()
                 if uid not in self._accepted and uid not in self._abandoned

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.networks import build_network
-from repro.nic import NifdyNIC, NifdyParams, RetransmittingNifdyNIC
+from repro.nic import (
+    REORDER_POLICIES,
+    NifdyNIC,
+    NifdyParams,
+    ReorderParams,
+    ReorderTolerantNIC,
+    RetransmittingNifdyNIC,
+)
 from repro.sim import RngFactory, Simulator
 from repro.traffic import PacketFactory
 
@@ -93,6 +100,63 @@ class TestProtocolFuzz:
         params = NifdyParams(opt_size=4, pool_size=8, dialogs=1, window=4)
         delivered, expected = run_matrix(
             "fattree", params, matrix, lossy=drop, horizon=4_000_000,
+        )
+        check_exactly_once_in_order(delivered, expected)
+
+
+def run_reorder_matrix(policy, matrix, drop=0.0, skew=0, num_nodes=16,
+                       seed=3, horizon=4_000_000):
+    """Drive a traffic matrix through reorder-tolerant NICs on the
+    packet-spraying fat tree (per-packet random routes + path-skew
+    jitter, so the fabric genuinely reorders); return delivered."""
+    sim = Simulator()
+    rngf = RngFactory(seed)
+    net = build_network(
+        "fattree-spray", sim, num_nodes, rng=rngf.stream("route"),
+        drop_prob=drop, drop_rng=rngf.stream("drop"), path_skew=skew,
+    )
+    params = ReorderParams(tx_window=4, rx_window=8, cache_capacity=4)
+    nics = net.attach_nics(
+        lambda n: ReorderTolerantNIC(
+            sim, n, policy=policy, params=params, retx_timeout=900,
+        )
+    )
+    factories = {}
+    expected = 0
+    for src, dst, length, threshold in matrix:
+        factory = factories.get(src)
+        if factory is None:
+            factory = factories[src] = PacketFactory(
+                src, bulk_threshold=threshold
+            )
+        factory.bulk_threshold = threshold
+        feed(sim, nics[src], factory.message(dst, length))
+        expected += length
+    delivered = drain_all(sim, nics, expected, horizon=horizon)
+    return delivered, expected
+
+
+class TestReorderFuzz:
+    """All three receiver-recovery variants restore exactly-once, in-order
+    delivery on a fabric that sprays, jitters, and (sometimes) drops."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(matrix=matrix_strategy,
+           policy=st.sampled_from(REORDER_POLICIES),
+           skew=st.sampled_from([0, 4]))
+    def test_spray_fabric_exactly_once_in_order(self, matrix, policy, skew):
+        delivered, expected = run_reorder_matrix(policy, matrix, skew=skew)
+        check_exactly_once_in_order(delivered, expected)
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(matrix=matrix_strategy,
+           policy=st.sampled_from(REORDER_POLICIES),
+           drop=st.sampled_from([0.02, 0.08]))
+    def test_lossy_spray_fabric_exactly_once_in_order(self, matrix, policy, drop):
+        delivered, expected = run_reorder_matrix(
+            policy, matrix, drop=drop, skew=4, horizon=6_000_000,
         )
         check_exactly_once_in_order(delivered, expected)
 

@@ -108,7 +108,7 @@ class TestLatencyHistogram:
         hist.note(1000)       # bucket 512-1023
         assert hist.p50 == 7
         assert hist.p90 == 7
-        assert hist.percentile(1.0) == 1023
+        assert hist.percentile(1.0) == 1000  # clamped to the exact max
         assert hist.p99 == 7  # the 99th sample is still in the low bucket
 
     def test_empty_and_negative(self):

@@ -3,7 +3,14 @@ end-to-end in-order delivery invariant."""
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.nic import NifdyParams, OutgoingPool, OutstandingPacketTable
+from repro.networks import build_network
+from repro.nic import (
+    NifdyParams,
+    OutgoingPool,
+    OutstandingPacketTable,
+    ReorderParams,
+    ReorderTolerantNIC,
+)
 from repro.sim import RngFactory, Simulator
 from repro.traffic import PacketFactory
 
@@ -136,4 +143,41 @@ class TestEndToEndOrdering:
         factory = PacketFactory(0, bulk_threshold=threshold)
         feed(sim, nics[0], factory.message(9, count))
         delivered = drain_all(sim, nics, count, horizon=1_500_000)
+        assert [p.pair_seq for p in delivered] == list(range(count))
+
+
+class TestReorderEndToEnd:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        policy=st.sampled_from(["window", "bitmap", "dropcache"]),
+        tx_window=st.sampled_from([2, 4, 8]),
+        cache=st.sampled_from([0, 4]),
+        count=st.integers(min_value=5, max_value=25),
+        skew=st.sampled_from([0, 6]),
+    )
+    def test_reorder_nic_restores_order_on_spray_fabric(
+        self, policy, tx_window, cache, count, skew,
+    ):
+        """Whatever the window/cache sizing, every recovery variant turns
+        the spraying, jittering fabric back into an in-order channel."""
+        params = ReorderParams(
+            tx_window=tx_window, rx_window=2 * tx_window, cache_capacity=cache,
+        )
+        sim = Simulator()
+        net = build_network(
+            "fattree-spray", sim, 16,
+            rng=RngFactory(5).stream("route"), path_skew=skew,
+        )
+        nics = net.attach_nics(
+            lambda n: ReorderTolerantNIC(
+                sim, n, policy=policy, params=params, retx_timeout=900,
+            )
+        )
+        factory = PacketFactory(0, bulk_threshold=1000)
+        feed(sim, nics[0], factory.message(9, count))
+        delivered = drain_all(sim, nics, count, horizon=2_000_000)
         assert [p.pair_seq for p in delivered] == list(range(count))

@@ -21,8 +21,10 @@ from repro.traffic import (
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
+    IncastConfig,
     PairStreamConfig,
     RadixSortConfig,
+    RpcFanoutConfig,
     TrafficSpec,
     traffic_names,
 )
@@ -49,6 +51,12 @@ WORKLOADS = {
     ),
     "pairstream": dict(
         traffic=TrafficSpec("pairstream", PairStreamConfig(packets=30)),
+    ),
+    "incast": dict(
+        traffic=TrafficSpec("incast", IncastConfig(rounds=2, packets_per_round=4)),
+    ),
+    "rpc": dict(
+        traffic=TrafficSpec("rpc", RpcFanoutConfig(rounds=2, fanout=4, reply_packets=2)),
     ),
 }
 
@@ -84,3 +92,29 @@ def test_bucket_and_heap_metrics_byte_identical(name):
         f"workload {name!r}: bucket scheduler diverged from the heap "
         "baseline (metrics JSON not byte-identical)"
     )
+
+
+def _canonical_spray_metrics(kernel: str) -> str:
+    """Incast on the spraying fabric under a reorder receiver: the kernel
+    must stay bit-identical even when route choice, jitter, and the
+    retransmission machinery all draw from seeded RNG streams."""
+    spec = ExperimentSpec(
+        network="fattree-spray",
+        traffic=TrafficSpec("incast", IncastConfig(rounds=2, packets_per_round=4)),
+        num_nodes=NODES,
+        nic_mode="reorder-bitmap",
+        max_cycles=300_000,
+        seed=7,
+        drop_prob=0.01,
+        network_overrides={"path_skew": 4},
+        kernel=kernel,
+        observe=Observability(events=True),
+    )
+    result = run_experiment(spec)
+    metrics = metrics_json(result)
+    metrics.pop("self_profile", None)
+    return json.dumps(metrics, sort_keys=True)
+
+
+def test_spraying_fabric_parity():
+    assert _canonical_spray_metrics("bucket") == _canonical_spray_metrics("heap")

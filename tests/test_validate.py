@@ -4,15 +4,17 @@ caught, and the monitor costs nothing when detached."""
 import pytest
 
 from repro.experiments import ExperimentSpec, run_experiment
-from repro.nic import NifdyNIC, NifdyParams
+from repro.nic import NifdyNIC, NifdyParams, ReorderParams, ReorderTolerantNIC
 from repro.obs import EventBus, EventKind, Observability
 from repro.sim import Simulator
 from repro.traffic import (
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
+    IncastConfig,
     PairStreamConfig,
     RadixSortConfig,
+    RpcFanoutConfig,
     SyntheticConfig,
     TrafficSpec,
     traffic_names,
@@ -30,6 +32,8 @@ _SMALL_CONFIGS = {
     "radix": RadixSortConfig(buckets=64, keys_per_processor=32),
     "hotspot": HotSpotConfig(packets_per_node=40),
     "pairstream": PairStreamConfig(packets=40, bulk=True),
+    "incast": IncastConfig(rounds=2, packets_per_round=4),
+    "rpc": RpcFanoutConfig(rounds=2, fanout=4, reply_packets=2),
 }
 
 
@@ -92,11 +96,13 @@ class TestDetachedCost:
 # ---------------------------------------------------------------------------
 
 class _FakePacket:
-    def __init__(self, uid, src, dst, pair_seq=-1):
+    def __init__(self, uid, src, dst, pair_seq=-1, seq=-1, abandoned_cycle=-1):
         self.uid = uid
         self.src = src
         self.dst = dst
         self.pair_seq = pair_seq
+        self.seq = seq
+        self.abandoned_cycle = abandoned_cycle
 
 
 @pytest.fixture()
@@ -216,11 +222,13 @@ class TestBrokenNic:
                     if v.invariant == "opt_bound"]) == 1
 
     def test_every_invariant_is_exercised_somewhere(self):
-        # The fixture tests above must collectively cover the full list.
+        # The fixture tests above (and TestBrokenReorderNic) must
+        # collectively cover the full list.
         covered = {
             "exactly_once", "in_order", "opt_bound", "pool_bound",
             "dialog_bound", "window_bound", "ack_conservation",
-            "no_silent_loss",
+            "no_silent_loss", "reorder_window_bound", "bitmap_conservation",
+            "no_cache_leak",
         }
         assert covered == set(INVARIANTS)
 
@@ -233,3 +241,106 @@ class TestBrokenNic:
         bus.emit_packet(20, EventKind.ACCEPT, 1, packet)
         payload = json.dumps([v.to_dict() for v in monitor.violations])
         assert "exactly_once" in payload
+
+
+# ---------------------------------------------------------------------------
+# Broken reorder-tolerant receivers: corrupt a real ReorderTolerantNIC's
+# stream state and prove the reorder invariants actually fire.
+# ---------------------------------------------------------------------------
+
+def _reorder_rig(policy: str):
+    sim = Simulator()
+    params = ReorderParams(tx_window=2, rx_window=4, cache_capacity=2)
+    nics = [
+        ReorderTolerantNIC(sim, node, policy=policy, params=params)
+        for node in range(2)
+    ]
+    bus = EventBus()
+    bus.attach(nics)
+    monitor = InvariantMonitor(check_order=True).attach(bus, nics)
+    return bus, monitor, nics
+
+
+class TestBrokenReorderNic:
+    def test_clean_reorder_nic_flags_nothing(self):
+        bus, monitor, _ = _reorder_rig("bitmap")
+        bus.emit(10, EventKind.OPT_HIT, 1)
+        monitor.finish(cycle=100)
+        assert monitor.ok
+
+    def test_reorder_window_bound_fires_on_runaway_buffer(self):
+        bus, monitor, nics = _reorder_rig("window")
+        st = nics[1]._rx_stream(0)  # rx_window=4, expect=0
+        for seq in range(100, 110):
+            st.buffer[seq] = _FakePacket(seq, 0, 1, seq=seq)
+        nics[1]._cached = len(st.buffer)
+        bus.emit(30, EventKind.OPT_HIT, 1)
+        assert "reorder_window_bound" in _names(monitor)
+        assert "rx_window=4" in monitor.violations[0].detail
+
+    def test_bitmap_conservation_fires_on_stale_bitmap(self):
+        bus, monitor, nics = _reorder_rig("bitmap")
+        st = nics[1]._rx_stream(0)
+        st.buffer[2] = _FakePacket(2, 0, 1, seq=2)  # bitmap left empty
+        nics[1]._cached = 1
+        bus.emit(30, EventKind.OPT_HIT, 1)
+        assert "bitmap_conservation" in _names(monitor)
+
+    def test_no_cache_leak_fires_on_counter_drift(self):
+        bus, monitor, nics = _reorder_rig("bitmap")
+        nics[1]._cached = 5  # buffers are empty
+        bus.emit(30, EventKind.OPT_HIT, 1)
+        assert "no_cache_leak" in _names(monitor)
+
+    def test_no_cache_leak_fires_on_dropcache_overflow(self):
+        bus, monitor, nics = _reorder_rig("dropcache")
+        st = nics[1]._rx_stream(0)
+        for seq in (1, 2, 3):  # cache_capacity is 2
+            st.buffer[seq] = _FakePacket(seq, 0, 1, seq=seq)
+        nics[1]._cached = 3
+        bus.emit(30, EventKind.OPT_HIT, 1)
+        assert "no_cache_leak" in _names(monitor)
+        assert "capacity 2" in monitor.violations[0].detail
+
+    def test_no_cache_leak_fires_for_packet_stranded_at_finish(self):
+        bus, monitor, nics = _reorder_rig("bitmap")
+        st = nics[1]._rx_stream(0)
+        st.buffer[2] = _FakePacket(uid=9, src=0, dst=1, seq=2)
+        st.bitmap.add(2)
+        nics[1]._cached = 1
+        monitor.finish(check_loss=True, cycle=100)
+        assert "no_cache_leak" in _names(monitor)
+        assert monitor.violations[0].uid == 9
+
+    def test_finish_accepts_cached_packet_its_sender_abandoned(self):
+        bus, monitor, nics = _reorder_rig("bitmap")
+        st = nics[1]._rx_stream(0)
+        st.buffer[2] = _FakePacket(9, 0, 1, seq=2, abandoned_cycle=50)
+        st.bitmap.add(2)
+        nics[1]._cached = 1
+        monitor.finish(check_loss=True, cycle=100)
+        assert monitor.ok
+
+    def test_in_order_gated_per_receiver(self):
+        """On a reordering fabric (fabric_in_order=False) the monitor holds
+        order-restoring NICs to in-order delivery but exempts plain ones."""
+        from repro.nic import PlainNIC
+
+        sim = Simulator()
+        nics = [
+            PlainNIC(sim, 0),
+            ReorderTolerantNIC(sim, 1, policy="window", params=ReorderParams()),
+        ]
+        bus = EventBus()
+        bus.attach(nics)
+        monitor = InvariantMonitor(
+            check_order=True, fabric_in_order=False,
+        ).attach(bus, nics)
+        # Regression at the plain NIC: the fabric may reorder, no violation.
+        bus.emit_packet(10, EventKind.ACCEPT, 0, _FakePacket(1, 1, 0, pair_seq=4))
+        bus.emit_packet(20, EventKind.ACCEPT, 0, _FakePacket(2, 1, 0, pair_seq=3))
+        assert monitor.ok
+        # The same regression at the reorder-tolerant NIC is a broken promise.
+        bus.emit_packet(30, EventKind.ACCEPT, 1, _FakePacket(3, 0, 1, pair_seq=4))
+        bus.emit_packet(40, EventKind.ACCEPT, 1, _FakePacket(4, 0, 1, pair_seq=3))
+        assert "in_order" in _names(monitor)
