@@ -3,21 +3,31 @@
 Every bench regenerates one table or figure of the paper.  Results are
 printed live (bypassing pytest capture) and archived under
 ``benchmarks/results/`` twice: the human-readable ``<bench>.txt`` and a
-machine-readable ``<bench>.json`` (whatever the bench passed to
-``report.record``, plus the run knobs).  At session end the per-bench
-JSONs are merged into ``results/BENCH_summary.json`` so CI and trend
-tooling consume one artifact.  ``REPRO_BENCH_CYCLES`` scales the
-measurement window of the fixed-horizon benches (default 20000 cycles;
-the paper used 1,000,000 -- throughput shapes are stable long before
-that).
+machine-readable ``<bench>.json`` -- a schema-stamped
+:class:`repro.report.schema.BenchRecord` carrying whatever the bench
+passed to ``report.record`` plus the run knobs.  At session end the
+per-bench JSONs are merge-updated into ``results/BENCH_summary.json``
+(existing benches are kept, the file is written atomically -- a partial
+run can no longer clobber siblings' results), and one
+timestamped, git-SHA-stamped snapshot is appended to
+``results/history/`` so consecutive runs accumulate a perf trajectory
+for ``repro report``.  ``REPRO_BENCH_CYCLES`` scales the measurement
+window of the fixed-horizon benches (default 20000 cycles; the paper
+used 1,000,000 -- throughput shapes are stable long before that).
 """
 
-import json
 import os
+import sys
 import time
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.report.schema import (BenchRecord, BenchSummary, EngineStats,
+                                 KernelPerfRecord, SchemaError, load_record,
+                                 write_record_atomic)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -32,6 +42,10 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
 #: Worker processes for the sweep-engine-backed benches.
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
+#: Benches that flushed results in THIS session (the summary merges the
+#: whole tree; the history snapshot records which part actually ran).
+_SESSION_BENCHES = set()
+
 
 class Report:
     """Prints rows live and archives them to text + JSON results files."""
@@ -44,6 +58,7 @@ class Report:
         self.json_path = RESULTS_DIR / f"{name}.json"
         self._lines = []
         self.data = {}
+        self.engine_stats = None
         self.wall_seconds = 0.0
 
     def line(self, text: str = "") -> None:
@@ -60,14 +75,16 @@ class Report:
 
     def flush(self) -> None:
         self.path.write_text("\n".join(self._lines) + "\n")
-        doc = {
-            "bench": self.name,
-            "bench_cycles": BENCH_CYCLES,
-            "bench_seed": BENCH_SEED,
-            "wall_seconds": round(self.wall_seconds, 3),
-            "data": self.data,
-        }
-        self.json_path.write_text(json.dumps(doc, indent=2, default=str) + "\n")
+        record = BenchRecord(
+            bench=self.name,
+            bench_cycles=BENCH_CYCLES,
+            bench_seed=BENCH_SEED,
+            wall_seconds=round(self.wall_seconds, 3),
+            data=self.data,
+            engine=self.engine_stats,
+        )
+        write_record_atomic(self.json_path, record)
+        _SESSION_BENCHES.add(self.name)
 
 
 @pytest.fixture
@@ -98,36 +115,52 @@ def engine(report):
     eng = SweepEngine(jobs=BENCH_JOBS, cache=True,
                       cache_dir=RESULTS_DIR / ".cache")
     yield eng
-    report.record("engine", eng.stats.as_dict())
+    report.engine_stats = EngineStats.from_dict(eng.stats.as_dict())
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge every per-bench JSON on disk into one summary artifact.
+    """Merge-update the summary artifact and append a history snapshot.
 
-    Merging from disk (not just this session's benches) keeps the summary
-    whole when benches are run selectively (``pytest benchmarks/test_fig2...``).
+    The summary merges three layers, oldest first: benches that exist only
+    in the previous ``BENCH_summary.json`` (their per-bench files may have
+    been cleaned), then every per-bench JSON on disk.  That keeps the
+    summary whole when benches run selectively
+    (``pytest benchmarks/test_fig2...``), and the atomic write means an
+    interrupted session never leaves a truncated file.
     """
     if not RESULTS_DIR.is_dir():
         return
-    benches = {}
+    summary = BenchSummary()
+    summary_path = RESULTS_DIR / SUMMARY_NAME
+    if summary_path.is_file():
+        try:
+            prior = load_record(summary_path)
+            if isinstance(prior, BenchSummary):
+                summary = prior
+        except (SchemaError, ValueError, OSError):  # pragma: no cover
+            pass
     for path in sorted(RESULTS_DIR.glob("*.json")):
         if path.name == SUMMARY_NAME:
             continue
         try:
-            benches[path.stem] = json.loads(path.read_text())
-        except (OSError, ValueError):  # pragma: no cover - corrupt artifact
+            record = load_record(path)
+        except (SchemaError, ValueError, OSError):  # pragma: no cover
             continue
-    if benches:
-        summary = {"bench_count": len(benches), "benches": benches}
-        # Surface the kernel throughput numbers at the top level so trend
-        # tooling reads events/sec without digging through bench internals.
-        kernel = (
-            benches.get("test_kernel_events_per_sec", {})
-            .get("data", {})
-            .get("kernel_perf")
+        if isinstance(record, BenchRecord):
+            summary.benches[path.stem] = record
+    if not summary.benches:
+        return
+    kernel_bench = summary.benches.get("test_kernel_events_per_sec")
+    if kernel_bench is not None and "kernel_perf" in kernel_bench.data:
+        summary.kernel = KernelPerfRecord.from_dict(
+            kernel_bench.data["kernel_perf"]
         )
-        if kernel is not None:
-            summary["kernel"] = kernel
-        (RESULTS_DIR / SUMMARY_NAME).write_text(
-            json.dumps(summary, indent=2) + "\n"
+    write_record_atomic(summary_path, summary)
+    if _SESSION_BENCHES:
+        from repro.report.history import (append_snapshot,
+                                          snapshot_from_summary)
+
+        append_snapshot(
+            RESULTS_DIR,
+            snapshot_from_summary(summary, sorted(_SESSION_BENCHES)),
         )

@@ -94,6 +94,21 @@ def test_ablation_extensions(benchmark, report):
             f"{retx:>5} retransmissions, completed={completed}"
         )
 
+    report.record("ack_timing_delivered",
+                  {"ack on accept": accept, "ack on insert": insert})
+    report.record("ack_combining", {
+        "combined (W/2)": {"cycles": comb_cycles, "acks": comb_acks},
+        "per-packet": {"cycles": pp_cycles, "acks": pp_acks},
+    })
+    report.record("retx_timeout", {
+        str(timeout): {
+            "cycles": out[f"retx timeout {timeout}"][0],
+            "retransmissions": out[f"retx timeout {timeout}"][1],
+            "completed": out[f"retx timeout {timeout}"][2],
+        }
+        for timeout in (400, 1000, 3000)
+    })
+
     # 1: the two policies are close; in this reproduction insert-time
     # acking is actually slightly AHEAD on windowed throughput (the paper
     # found the opposite).  Our 2-packet arrivals FIFO already bounds how

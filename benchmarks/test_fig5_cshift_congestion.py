@@ -55,6 +55,15 @@ def test_fig5_cshift_congestion(benchmark, report):
         for row in res.congestion.heatmap_rows():
             report.line("   |" + row[:NODES] + "|")
 
+    report.record("finished_cycles",
+                  {label: res.cycles for label, res in results.items()})
+    report.record("mean_peak_backlog",
+                  {label: round(res.congestion.mean_peak_pending(), 3)
+                   for label, res in results.items()})
+    report.record("worst_backlog",
+                  {label: res.congestion.peak_pending()
+                   for label, res in results.items()})
+
     assert plain.completed and nifdy.completed
     # Even utilisation: NIFDY's backlog stays below the uncontrolled run's.
     assert nifdy.congestion.mean_peak_pending() <= plain.congestion.mean_peak_pending()

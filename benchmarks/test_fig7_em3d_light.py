@@ -60,6 +60,10 @@ def check_em3d_claims(rows, inorder_gain_cap=None):
 
 
 def report_em3d(report, title, rows):
+    report.record("cycles_per_iteration", {
+        network: {mode: round(row[mode], 1) for mode in MODES}
+        for network, row in rows.items()
+    })
     report.line(title)
     report.line(f"{'network':14s}" + "".join(f"{m:>11s}" for m in MODES)
                 + f"{'gain':>8s}")

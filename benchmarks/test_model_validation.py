@@ -65,6 +65,16 @@ def test_model_validation(benchmark, report):
                 f"{'~' + format(eq1, '.3f'):>10s}B")
     report.line(f"(bytes/cycle; Eq. 3 window for this round trip: W >= {window})")
 
+    report.record("bandwidth_bytes_per_cycle", {
+        "plain": {"measured": round(measured["plain"], 4),
+                  "predicted": round(eq1, 4)},
+        "nifdy scalar": {"measured": round(measured["nifdy scalar"], 4),
+                         "predicted": round(scalar_pred, 4)},
+        "nifdy bulk": {"measured": round(measured["nifdy bulk"], 4),
+                       "predicted": round(eq1, 4)},
+    })
+    report.record("eq3_min_window", window)
+
     # Equation 1 predicts the plain NIC within 25% (it ignores pipeline
     # overlap between the send and receive stages, so it is conservative).
     assert measured["plain"] == pytest.approx(eq1, rel=0.25)

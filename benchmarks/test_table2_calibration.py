@@ -48,6 +48,17 @@ def test_table2_calibration(benchmark, report):
     report.line("paper formulas: mesh 4d+14, fat tree 5d+2 (head latency; our"
                 " intercept adds the 7-flit tail streaming time)")
 
+    report.record("software_costs", {
+        "active message send": t.t_send,
+        "active message receive": t.t_receive,
+        "active message poll (empty)": t.t_poll,
+        "NIFDY ack processing (2 ends)": 4,
+    })
+    report.record("latency_fits", {
+        name: [round(slope, 3), round(intercept, 3)]
+        for name, (slope, intercept) in fits.items()
+    })
+
     mesh_slope = fits["mesh2d"][0]
     ft_slope = fits["fattree"][0]
     cm5_slope = fits["cm5"][0]

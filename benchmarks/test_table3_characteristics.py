@@ -78,11 +78,13 @@ def test_table3_characteristics(benchmark, report, engine):
     report.line("")
     report.line(f"Table 3 (right): (O, W) sweep, heavy+light packets in "
                 f"2x{SWEEP_CYCLES:,} cycles")
+    best_cells = {}
     for network in SWEEP_NETWORKS:
         cells = {
             (o, w): sweep[(network, o, w)] for o in O_CHOICES for w in W_CHOICES
         }
         best = max(cells, key=cells.get)
+        best_cells[network] = f"O={best[0]} W={best[1]}"
         report.line(f"  {network}: best O={best[0]} W={best[1]}")
         for o in O_CHOICES:
             report.line(
@@ -90,6 +92,23 @@ def test_table3_characteristics(benchmark, report, engine):
                     f"O={o} W={w}: {cells[(o, w)]:>6,}   " for w in W_CHOICES
                 )
             )
+
+    report.record("characteristics", {
+        name: {
+            "volume_words_per_node": round(row.volume_words_per_node, 2),
+            "bisection_bytes_per_cycle": round(row.bisection_bytes_per_cycle, 2),
+            "avg_hops": round(row.avg_hops, 2),
+            "max_hops": row.max_hops,
+            "delivers_in_order": row.delivers_in_order,
+            "formula": row.formula(),
+        }
+        for name, row in rows.items()
+    })
+    report.record("best_params", best_cells)
+    report.record("sweep_cells", {
+        f"{network}/O={o}/W={w}": sweep[(network, o, w)]
+        for network in SWEEP_NETWORKS for o in O_CHOICES for w in W_CHOICES
+    })
 
     by_name = rows
     # Bisection ordering: the full fat tree is the widest; the mesh is

@@ -13,6 +13,13 @@ Usage (after ``pip install -e .``)::
     python -m repro characterize --network mesh2d
     python -m repro advise --network cm5
     python -m repro perf
+    python -m repro report --out report/
+
+``run``, ``sweep``, and ``perf`` accept ``--json`` for machine-readable
+stdout (schema-stamped documents from :mod:`repro.report.schema`; the
+human output moves to stderr).  ``report`` regenerates the paper's
+figures, fidelity deltas, run health, and the perf trajectory from the
+archived ``benchmarks/results/`` tree.
 
 ``run`` prints the same metrics the benchmark suite reports (packets
 delivered, throughput, latency percentiles, ordering); ``sweep`` runs a
@@ -35,6 +42,8 @@ self-profiling (events/sec, per-handler wall-clock).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from typing import List, Optional
 
@@ -160,6 +169,19 @@ def _cmd_run(args) -> int:
         kernel=args.kernel,
         observe=observe,
     ))
+    if args.json:
+        # Machine-readable mode: the schema-stamped RunStats document is
+        # the only thing on stdout; the human stats move to stderr.
+        with contextlib.redirect_stdout(sys.stderr):
+            _print_run_human(args, plan, result, observe)
+        print(json.dumps(result.run_stats().to_dict(stamped=True),
+                         indent=2, default=str))
+    else:
+        _print_run_human(args, plan, result, observe)
+    return 0 if result.completed or fixed_horizon else 1
+
+
+def _print_run_human(args, plan, result, observe) -> None:
     hist = result.metrics.network_latency
     print(f"network          : {result.network}")
     print(f"NIC mode         : {result.nic_mode}")
@@ -198,7 +220,6 @@ def _cmd_run(args) -> int:
         print(result.stall_report)
     if observe is not None:
         _write_observability(args, plan, result, observe)
-    return 0 if result.completed or fixed_horizon else 1
 
 
 def _write_observability(args, plan, result, observe) -> None:
@@ -237,13 +258,31 @@ def _int_list(text: str) -> List[int]:
     return [int(item) for item in text.split(",") if item != ""]
 
 
+def _point_dict(point) -> dict:
+    """A SweepPoint as the plain dict the ``--json`` envelope carries."""
+    return {
+        "label": point.label,
+        "delivered": point.delivered,
+        "cycles": point.cycles,
+        "sent": point.sent,
+        "completed": point.completed,
+        "order_violations": point.order_violations,
+        "abandoned": point.abandoned,
+        "throughput": round(point.throughput, 3),
+        "cached": point.cached,
+        "timed_out": point.timed_out,
+        "error": point.error,
+    }
+
+
 def _cmd_sweep(args) -> int:
     """Run a parameter/load/size sweep through the SweepEngine.
 
     Results (the deterministic table) go to stdout; progress and cache
     statistics go to stderr, so serial and parallel invocations of the
     same grid produce byte-identical stdout -- the property the CI
-    parallel-smoke job diffs.
+    parallel-smoke job diffs.  ``--json`` swaps stdout over to a
+    schema-stamped ``repro-sweep`` document (the table moves to stderr).
     """
     def progress(done, total, point):
         status = "cache" if point.cached else ("ERROR" if point.error else "ran")
@@ -256,6 +295,33 @@ def _cmd_sweep(args) -> int:
         progress=progress if not args.quiet else None,
         point_timeout=args.point_timeout,
     )
+    json_points: List[dict] = []
+    stack = contextlib.ExitStack()
+    if args.json:
+        stack.enter_context(contextlib.redirect_stdout(sys.stderr))
+    with stack:
+        _run_sweep_table(args, engine, json_points)
+    stats = engine.stats
+    if args.json:
+        from .report.schema import EngineStats, SweepRecord
+
+        record = SweepRecord(
+            sweep=args.kind, network=args.network, points=json_points,
+            engine=EngineStats.from_dict(stats.as_dict()),
+        )
+        print(json.dumps(record.to_dict(), indent=2, default=str))
+    print(
+        f"sweep: {stats.points} point(s), {stats.executed} executed, "
+        f"{stats.cache_hits} from cache ({stats.hit_rate:.0%}), "
+        f"{stats.errors} error(s), {stats.wall_s:.2f}s "
+        f"with --jobs {args.jobs}",
+        file=sys.stderr,
+    )
+    return 1 if stats.errors else 0
+
+
+def _run_sweep_table(args, engine, json_points: List[dict]) -> None:
+    """The human sweep table (stdout unless redirected) + point collection."""
     if args.kind == "params":
         grid = default_param_grid(
             opt_sizes=_int_list(args.opt_grid), windows=_int_list(args.window_grid),
@@ -265,6 +331,7 @@ def _cmd_sweep(args) -> int:
             seed=args.seed, combine_light_and_heavy=not args.heavy_only,
             engine=engine,
         )
+        json_points.extend(_point_dict(p) for p in points)
         loads = "heavy" if args.heavy_only else "heavy+light"
         print(f"NIFDY parameter sweep on {args.network} "
               f"({loads}, {args.cycles:,}-cycle windows), best first:")
@@ -281,6 +348,7 @@ def _cmd_sweep(args) -> int:
             num_nodes=args.nodes, run_cycles=args.cycles, seed=args.seed,
             engine=engine,
         )
+        json_points.extend(_point_dict(p) for p in points)
         print(f"Offered-load sweep on {args.network} ({args.nic}, "
               f"{args.cycles:,}-cycle windows):")
         for point in points:
@@ -295,17 +363,13 @@ def _cmd_sweep(args) -> int:
         print(f"Machine-size sweep on {args.network} "
               f"(NIFDY vs {args.nic}, {args.cycles:,}-cycle windows):")
         for size, (nifdy, base, norm) in out.items():
+            json_points.append({
+                "label": f"n={size}", "size": size,
+                "nifdy_delivered": nifdy, "baseline_delivered": base,
+                "normalized": round(norm, 3),
+            })
             print(f"  n={size:<6d} nifdy={nifdy:>8,}  {args.nic}={base:>8,}  "
                   f"normalized={norm:5.2f}x")
-    stats = engine.stats
-    print(
-        f"sweep: {stats.points} point(s), {stats.executed} executed, "
-        f"{stats.cache_hits} from cache ({stats.hit_rate:.0%}), "
-        f"{stats.errors} error(s), {stats.wall_s:.2f}s "
-        f"with --jobs {args.jobs}",
-        file=sys.stderr,
-    )
-    return 1 if stats.errors else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -402,41 +466,54 @@ def _cmd_perf(args) -> int:
             "canonical_metrics": json_dumps_canonical(metrics),
         }
 
-    print(f"kernel perf: {args.network} n={args.nodes} heavy traffic, "
-          f"{args.cycles:,} cycles, seed {args.seed}")
-    for kernel in kernels:
-        row = rows[kernel]
-        print(f"  {kernel:7s} events={row['events']:>9,}  "
-              f"loop={row['loop_seconds']:6.2f}s  "
-              f"events/sec={row['events_per_sec']:>10,.0f}")
-
     parity_ok = True
+    speedup = 0.0
     if len(kernels) == 2:
         a, b = (rows[k] for k in kernels)
         parity_ok = a["canonical_metrics"] == b["canonical_metrics"]
-        speedup = (
-            a["events_per_sec"] and b["events_per_sec"]
-            and rows["bucket"]["events_per_sec"] / rows["heap"]["events_per_sec"]
-        )
-        print(f"  parity : {'ok (metrics byte-identical)' if parity_ok else 'MISMATCH'}")
-        if speedup:
-            print(f"  speedup: {speedup:.2f}x (bucket vs heap)")
+        if a["events_per_sec"] and b["events_per_sec"]:
+            speedup = (rows["bucket"]["events_per_sec"]
+                       / rows["heap"]["events_per_sec"])
+
+    json_to_stdout = args.json == "-"
+    stack = contextlib.ExitStack()
+    if json_to_stdout:
+        stack.enter_context(contextlib.redirect_stdout(sys.stderr))
+    with stack:
+        print(f"kernel perf: {args.network} n={args.nodes} heavy traffic, "
+              f"{args.cycles:,} cycles, seed {args.seed}")
+        for kernel in kernels:
+            row = rows[kernel]
+            print(f"  {kernel:7s} events={row['events']:>9,}  "
+                  f"loop={row['loop_seconds']:6.2f}s  "
+                  f"events/sec={row['events_per_sec']:>10,.0f}")
+        if len(kernels) == 2:
+            print("  parity : "
+                  f"{'ok (metrics byte-identical)' if parity_ok else 'MISMATCH'}")
+            if speedup:
+                print(f"  speedup: {speedup:.2f}x (bucket vs heap)")
 
     if args.json:
-        payload = {
-            "workload": {
+        from .report.schema import KernelPerfRecord, KernelRun
+
+        record = KernelPerfRecord(
+            workload={
                 "network": args.network, "nodes": args.nodes,
                 "cycles": args.cycles, "seed": args.seed,
             },
-            "kernels": {
-                k: {key: v for key, v in row.items()
-                    if key != "canonical_metrics"}
+            kernels={
+                k: KernelRun(**{key: v for key, v in row.items()
+                                if key != "canonical_metrics"})
                 for k, row in rows.items()
             },
-            "parity_ok": parity_ok,
-        }
-        write_json(args.json, payload)
-        print(f"  json   : {args.json}")
+            speedup=round(speedup, 3),
+            parity_ok=parity_ok,
+        )
+        if json_to_stdout:
+            print(json.dumps(record.to_dict(), indent=2))
+        else:
+            write_json(args.json, record.to_dict())
+            print(f"  json   : {args.json}")
     return 0 if parity_ok else 1
 
 
@@ -444,6 +521,31 @@ def json_dumps_canonical(payload) -> str:
     import json
 
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _cmd_report(args) -> int:
+    """Regenerate the paper's figures + fidelity report from archived
+    results (see :mod:`repro.report`).  Page-by-page progress goes over
+    the obs bus to stderr; the summary lands on stdout."""
+    from .obs import EventBus
+    from .report import generate_report
+
+    bus = EventBus()
+    if not args.quiet:
+        bus.subscribe(
+            "report_page",
+            lambda e: print(f"  [{e.cycle + 1}] {e.info}", file=sys.stderr),
+        )
+    result = generate_report(args.results, args.out, fmt=args.format, bus=bus)
+    print(f"report           : {result.index}")
+    print(f"pages            : {len(result.pages)}")
+    print(f"figures rendered : {result.figures_rendered}")
+    if result.figures_missing:
+        print(f"missing data for : {', '.join(result.figures_missing)} "
+              "(re-run those benches to regenerate)")
+    print(f"fidelity checks  : {result.checks_ok}/{result.checks_total} ok")
+    print(f"history snapshots: {result.history_points}")
+    return 0
 
 
 def _cmd_characterize(args) -> int:
@@ -535,6 +637,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--kernel", default="bucket", choices=SCHEDULERS,
                      help="event-queue implementation (results are "
                      "bit-identical; 'heap' is the slow reference)")
+    run.add_argument("--json", action="store_true",
+                     help="print the result as a schema-stamped repro-run "
+                     "JSON document on stdout (human stats move to stderr)")
     run.add_argument("--opt", type=int, default=None, help="NIFDY O")
     run.add_argument("--pool", type=int, default=None, help="NIFDY B")
     run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")
@@ -579,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load sweep: inter-send gaps (big gap = light load)")
     sweep.add_argument("--sizes", default="16,64,256", metavar="N,N,...",
                        help="sizes sweep: machine sizes")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the result set as a schema-stamped "
+                       "repro-sweep JSON document on stdout (the human "
+                       "table moves to stderr)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress on stderr")
 
@@ -643,9 +752,30 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("both",) + SCHEDULERS,
                       help="which scheduler(s) to run; 'both' also "
                       "checks metrics parity and prints the speedup")
-    perf.add_argument("--json", default=None, metavar="FILE",
-                      help="write the numbers as JSON (the perf-smoke "
-                      "job's artifact)")
+    perf.add_argument("--json", nargs="?", const="-", default=None,
+                      metavar="FILE",
+                      help="emit the numbers as a schema-stamped "
+                      "repro-kernel-perf JSON document: to FILE (the "
+                      "perf-smoke job's artifact), or to stdout when no "
+                      "FILE is given (human stats move to stderr)")
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate Fig 2-9 / Table 2-3 plots, fidelity deltas, run "
+        "health, and the perf trajectory from archived bench results",
+    )
+    report.add_argument("--results", default="benchmarks/results",
+                        metavar="DIR",
+                        help="results tree to read (per-bench JSON, "
+                        "chaos/, history/)")
+    report.add_argument("--out", default="benchmarks/results/report",
+                        metavar="DIR",
+                        help="where the report pages + figures are written")
+    report.add_argument("--format", default="md", choices=("md", "html"),
+                        help="page format (plots are SVG, or PNG when "
+                        "matplotlib is installed)")
+    report.add_argument("--quiet", action="store_true",
+                        help="suppress per-page progress on stderr")
 
     for name in ("characterize", "advise"):
         cmd = sub.add_parser(name, help=f"{name} a network")
@@ -664,6 +794,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
         "perf": _cmd_perf,
+        "report": _cmd_report,
         "characterize": _cmd_characterize,
         "advise": _cmd_advise,
     }

@@ -51,11 +51,10 @@ DEFAULT_CACHE_DIR = Path(
     os.environ.get("REPRO_SWEEP_CACHE", "benchmarks/results/.cache")
 )
 
-_RESULT_FIELDS = (
-    "network", "nic_mode", "num_nodes", "cycles", "sent", "delivered",
-    "completed", "order_violations", "mean_network_latency",
-    "mean_total_latency", "abandoned", "stall_report", "violations",
-)
+# The slim result shape is owned by the results schema (the same field
+# list backs the sweep cache, ``--json`` CLI output, CSV export, and the
+# report), so the engine can never drift from what the loaders expect.
+from ..report.schema import RUN_STATS_FIELDS as _RESULT_FIELDS
 
 _code_version_cache: Optional[str] = None
 

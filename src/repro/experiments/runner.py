@@ -113,6 +113,15 @@ class ExperimentResult:
         rescaled from the paper's per-1M-cycles window)."""
         return 1000.0 * self.delivered / self.cycles if self.cycles else 0.0
 
+    def run_stats(self):
+        """This result as a schema :class:`~repro.report.schema.RunStats`:
+        the slim, JSON-ready shape shared by the sweep cache, the
+        ``--json`` CLI outputs, and ``repro report`` (no live simulator
+        objects)."""
+        from ..report.schema import RunStats  # deferred: keep import light
+
+        return RunStats.from_result(self)
+
     def latency_percentiles(self) -> Dict[str, int]:
         """p50/p90/p99/max of both latency histograms (zeros if the
         collector was discarded)."""

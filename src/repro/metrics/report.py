@@ -204,12 +204,18 @@ def format_degradation(report: DegradationReport) -> str:
 
 
 def results_to_csv(results: Sequence, fieldnames: Optional[Sequence[str]] = None) -> str:
-    """Render ExperimentResult-like objects as CSV text."""
-    fieldnames = list(fieldnames or (
-        "network", "nic_mode", "num_nodes", "cycles", "sent", "delivered",
-        "completed", "order_violations", "mean_network_latency",
-        "mean_total_latency",
-    ))
+    """Render ExperimentResult-like objects as CSV text.
+
+    The default column set is the results schema's scalar fields
+    (``RUN_STATS_FIELDS`` minus the non-scalar tail), so CSV exports,
+    ``--json`` output, and the sweep cache all agree on names and order.
+    """
+    if fieldnames is None:
+        from ..report.schema import RUN_STATS_FIELDS
+
+        fieldnames = [f for f in RUN_STATS_FIELDS
+                      if f not in ("stall_report", "violations")]
+    fieldnames = list(fieldnames)
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()

@@ -64,6 +64,10 @@ class EventKind:
     SWEEP_POINT = "sweep_point"
     SWEEP_CACHE_HIT = "sweep_cache_hit"
     SWEEP_ERROR = "sweep_error"
+    # report generator progress (``cycle`` carries the pages-done count,
+    # ``info`` the page name / output path)
+    REPORT_PAGE = "report_page"
+    REPORT_DONE = "report_done"
 
     ALL = (
         INJECT, EJECT, ACCEPT, ABANDON,
@@ -72,6 +76,7 @@ class EventKind:
         RETRANSMIT, BACKOFF, DUPLICATE, LINK_DROP,
         ROUTER_BLOCK, FAULT_FIRE, FAULT_REPAIR,
         SWEEP_POINT, SWEEP_CACHE_HIT, SWEEP_ERROR,
+        REPORT_PAGE, REPORT_DONE,
     )
 
 
