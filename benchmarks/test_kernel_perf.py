@@ -1,11 +1,12 @@
-"""Event-kernel throughput bench: bucket scheduler vs the heap baseline.
+"""Event-kernel throughput bench: every registered scheduler vs heap.
 
 Runs the fixed-seed reference workload (heavy traffic on a fat tree, the
-same one ``repro perf`` uses) under both schedulers with kernel
-self-profiling on, records events/sec for each, and asserts the two runs'
-full metrics JSON is byte-identical.  Parity is the only assertion: raw
-speed depends on the host, so recording it (into ``BENCH_summary.json``,
-under the top-level ``kernel`` key) is the job; failing on it is not.
+same one ``repro perf`` uses) under every kernel in the scheduler
+registry with kernel self-profiling on, records events/sec for each, and
+asserts all runs' full metrics JSON is byte-identical to the heap
+baseline.  Parity is the only assertion: raw speed depends on the host,
+so recording it (into ``BENCH_summary.json``, under the top-level
+``kernel`` key) is the job; failing on it is not.
 """
 
 import json
@@ -14,13 +15,14 @@ from conftest import BENCH_CYCLES, BENCH_SEED
 
 from repro.experiments import perf_reference_spec, run_experiment
 from repro.obs import metrics_json
+from repro.sim import scheduler_names
 
 NODES = 64
 
 
 def test_kernel_events_per_sec(report):
     rows = {}
-    for kernel in ("heap", "bucket"):
+    for kernel in scheduler_names():
         spec = perf_reference_spec(
             num_nodes=NODES,
             run_cycles=BENCH_CYCLES,
@@ -44,13 +46,23 @@ def test_kernel_events_per_sec(report):
             f"events/sec={profile.events_per_sec:>10,.0f}"
         )
 
-    parity_ok = rows["heap"]["canon"] == rows["bucket"]["canon"]
-    speedup = (
-        rows["bucket"]["events_per_sec"] / rows["heap"]["events_per_sec"]
-        if rows["heap"]["events_per_sec"] else 0.0
+    baseline = "heap" if "heap" in rows else next(iter(rows))
+    mismatched = [
+        k for k in rows if rows[k]["canon"] != rows[baseline]["canon"]
+    ]
+    parity_ok = not mismatched
+    base_eps = rows[baseline]["events_per_sec"]
+    speedups = {
+        k: round(row["events_per_sec"] / base_eps, 3)
+        for k, row in rows.items()
+        if k != baseline and base_eps and row["events_per_sec"]
+    }
+    report.line(
+        "parity : ok" if parity_ok
+        else f"parity : MISMATCH ({', '.join(mismatched)} vs {baseline})"
     )
-    report.line(f"parity : {'ok' if parity_ok else 'MISMATCH'}")
-    report.line(f"speedup: {speedup:.2f}x (bucket vs heap)")
+    for k, v in speedups.items():
+        report.line(f"speedup: {k} {v:.2f}x (vs {baseline})")
 
     report.record("kernel_perf", {
         "workload": {
@@ -61,11 +73,13 @@ def test_kernel_events_per_sec(report):
             k: {key: v for key, v in row.items() if key != "canon"}
             for k, row in rows.items()
         },
-        "speedup": round(speedup, 3),
+        "speedup": speedups.get("bucket", 0.0),
+        "speedups": speedups,
         "parity_ok": parity_ok,
     })
 
     assert parity_ok, (
-        "bucket and heap schedulers diverged on the reference workload "
+        f"schedulers diverged on the reference workload: "
+        f"{', '.join(mismatched)} vs {baseline} "
         "(metrics JSON not byte-identical)"
     )

@@ -72,7 +72,7 @@ from .experiments import (
 from .networks import EXTENSION_NETWORK_NAMES, NETWORK_NAMES
 from .nic import NifdyParams
 from .obs import Observability, chrome_trace, metrics_json, write_json
-from .sim import SCHEDULERS
+from .sim import scheduler_names
 
 TRAFFIC_CHOICES = (
     "heavy", "light", "cshift", "em3d", "radix", "hotspot", "incast", "rpc",
@@ -436,13 +436,14 @@ def _cmd_perf(args) -> int:
 
     Runs the :func:`~repro.experiments.perf_reference_spec` workload under
     the requested scheduler(s) with self-profiling on and prints an
-    events-per-second table.  With ``--kernel both`` (the default) it also
-    diffs the two runs' full metrics JSON byte-for-byte; a mismatch is the
-    only failure -- raw speed never is, so the CI perf-smoke job stays
-    immune to noisy runners while the recorded numbers remain comparable
-    across commits (same workload, same seed).
+    events-per-second table.  With ``--kernel both`` (the default) it runs
+    *every* registered scheduler and diffs each run's full metrics JSON
+    byte-for-byte against the heap baseline; a mismatch is the only
+    failure -- raw speed never is, so the CI perf-smoke job stays immune
+    to noisy runners while the recorded numbers remain comparable across
+    commits (same workload, same seed).
     """
-    kernels = list(SCHEDULERS) if args.kernel == "both" else [args.kernel]
+    kernels = list(scheduler_names()) if args.kernel == "both" else [args.kernel]
     rows = {}
     for kernel in kernels:
         spec = perf_reference_spec(
@@ -466,14 +467,22 @@ def _cmd_perf(args) -> int:
             "canonical_metrics": json_dumps_canonical(metrics),
         }
 
-    parity_ok = True
-    speedup = 0.0
-    if len(kernels) == 2:
-        a, b = (rows[k] for k in kernels)
-        parity_ok = a["canonical_metrics"] == b["canonical_metrics"]
-        if a["events_per_sec"] and b["events_per_sec"]:
-            speedup = (rows["bucket"]["events_per_sec"]
-                       / rows["heap"]["events_per_sec"])
+    # Parity: every kernel against the reference.  The baseline is heap
+    # when it ran (the executable specification); otherwise the first
+    # kernel requested, so `--kernel epoch` alone still exits 0.
+    baseline = "heap" if "heap" in rows else kernels[0]
+    mismatched = [
+        k for k in kernels
+        if rows[k]["canonical_metrics"] != rows[baseline]["canonical_metrics"]
+    ]
+    parity_ok = not mismatched
+    base_eps = rows[baseline]["events_per_sec"]
+    speedups = {
+        k: rows[k]["events_per_sec"] / base_eps
+        for k in kernels
+        if k != baseline and base_eps and rows[k]["events_per_sec"]
+    }
+    speedup = speedups.get("bucket", 0.0) if baseline == "heap" else 0.0
 
     json_to_stdout = args.json == "-"
     stack = contextlib.ExitStack()
@@ -484,14 +493,15 @@ def _cmd_perf(args) -> int:
               f"{args.cycles:,} cycles, seed {args.seed}")
         for kernel in kernels:
             row = rows[kernel]
+            rel = (f"  {row['events_per_sec'] / base_eps:5.2f}x"
+                   if kernel in speedups else "")
             print(f"  {kernel:7s} events={row['events']:>9,}  "
                   f"loop={row['loop_seconds']:6.2f}s  "
-                  f"events/sec={row['events_per_sec']:>10,.0f}")
-        if len(kernels) == 2:
-            print("  parity : "
-                  f"{'ok (metrics byte-identical)' if parity_ok else 'MISMATCH'}")
-            if speedup:
-                print(f"  speedup: {speedup:.2f}x (bucket vs heap)")
+                  f"events/sec={row['events_per_sec']:>10,.0f}{rel}")
+        if len(kernels) > 1:
+            status = ("ok (metrics byte-identical)" if parity_ok
+                      else "MISMATCH: " + ", ".join(mismatched))
+            print(f"  parity : {status} (vs {baseline})")
 
     if args.json:
         from .report.schema import KernelPerfRecord, KernelRun
@@ -507,6 +517,7 @@ def _cmd_perf(args) -> int:
                 for k, row in rows.items()
             },
             speedup=round(speedup, 3),
+            speedups={k: round(v, 3) for k, v in speedups.items()},
             parity_ok=parity_ok,
         )
         if json_to_stdout:
@@ -634,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="print simulator self-profiling "
                      "(events/sec, per-handler wall-clock)")
-    run.add_argument("--kernel", default="bucket", choices=SCHEDULERS,
+    run.add_argument("--kernel", default="bucket", choices=scheduler_names(),
                      help="event-queue implementation (results are "
                      "bit-identical; 'heap' is the slow reference)")
     run.add_argument("--json", action="store_true",
@@ -739,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     perf = sub.add_parser(
         "perf",
-        help="benchmark the event kernel (bucket vs heap) on the fixed "
+        help="benchmark every registered event kernel on the fixed "
         "reference workload; fails only on a parity mismatch",
     )
     perf.add_argument("--network", default="fattree",
@@ -749,9 +760,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="measurement window (heavy synthetic traffic)")
     perf.add_argument("--seed", type=int, default=11)
     perf.add_argument("--kernel", default="both",
-                      choices=("both",) + SCHEDULERS,
-                      help="which scheduler(s) to run; 'both' also "
-                      "checks metrics parity and prints the speedup")
+                      choices=("both",) + scheduler_names(),
+                      help="which scheduler(s) to run; 'both' means every "
+                      "registered kernel, checks metrics parity against "
+                      "the heap baseline, and prints per-kernel speedups")
     perf.add_argument("--json", nargs="?", const="-", default=None,
                       metavar="FILE",
                       help="emit the numbers as a schema-stamped "

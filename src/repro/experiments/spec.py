@@ -31,7 +31,7 @@ from ..faults import FaultPlan
 from ..nic import NifdyParams, ReorderParams
 from ..node import CM5_TIMING, Timing
 from ..obs import Observability
-from ..sim import SCHEDULERS
+from ..sim import scheduler_names
 from ..traffic import TrafficSpec
 
 
@@ -92,9 +92,10 @@ class ExperimentSpec:
             )
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be positive")
-        if self.kernel not in SCHEDULERS:
+        if self.kernel not in scheduler_names():
             raise ValueError(
-                f"unknown kernel {self.kernel!r}; choose from {SCHEDULERS}"
+                f"unknown kernel {self.kernel!r}; choose from "
+                f"{scheduler_names()}"
             )
 
     # ------------------------------------------------------------ ergonomics

@@ -126,26 +126,48 @@ def build_fattree(
         only use the first ``up_choices`` values."""
         return all(d < up_choices for d in digits[:level])
 
+    # Route-choice caches: topology and VC layout are fixed after build, so
+    # the (link, vc-candidates) entries a router can ever return are a pure
+    # function of (router, direction, logical net).  Caching them keeps the
+    # per-packet-per-hop work to digit comparisons plus the RNG draws --
+    # which stay call-for-call identical (shuffle/randrange consume the
+    # same amount of state for the same-length choice lists).
+    dst_digit_cache: Dict[int, Tuple[int, ...]] = {}
+    down_cache: Dict[Tuple[int, int, int], Tuple[Link, Sequence[int]]] = {}
+    up_cache: Dict[Tuple[int, int], list] = {}
+
     def route(router: Router, packet: Packet, in_port: int, in_vc: int):
         level, digits = meta.router_meta[router.rid]
-        dst = _digits(packet.dst, k, levels)  # dst[j] = digit j
-        is_ancestor = all(
-            digits[j] == dst[j + 1] for j in range(level, digit_count)
-        )
-        if is_ancestor:
+        dst = dst_digit_cache.get(packet.dst)
+        if dst is None:  # dst[j] = digit j
+            dst = dst_digit_cache[packet.dst] = _digits(packet.dst, k, levels)
+        for j in range(level, digit_count):
+            if digits[j] != dst[j + 1]:
+                break
+        else:  # ancestor of dst: deterministic down route
             down_digit = dst[level]  # level 0: ejection port to the node
-            port = meta.port(down_digit, packet.logical_net)
-            link = router.out_links[port]
-            return [(link, link.vcs_for_net(packet.logical_net))]
-        choices = []
-        for up in range(meta.up_choices):
-            port = meta.port(k + up, packet.logical_net)
-            link = router.out_links[port]
-            choices.append((link, link.vcs_for_net(packet.logical_net)))
+            key = (router.rid, down_digit, packet.logical_net)
+            entry = down_cache.get(key)
+            if entry is None:
+                port = meta.port(down_digit, packet.logical_net)
+                link = router.out_links[port]
+                entry = (link, link.vcs_for_net(packet.logical_net))
+                down_cache[key] = entry
+            return [entry]
+        key = (router.rid, packet.logical_net)
+        base = up_cache.get(key)
+        if base is None:
+            base = []
+            for up in range(meta.up_choices):
+                port = meta.port(k + up, packet.logical_net)
+                link = router.out_links[port]
+                base.append((link, link.vcs_for_net(packet.logical_net)))
+            up_cache[key] = base
         if spray:
             # Packet spraying: commit to one random up port (oblivious),
             # rather than adaptively taking the first free one.
-            return [choices[rng.randrange(len(choices))]]
+            return [base[rng.randrange(len(base))]]
+        choices = base[:]  # shuffle a copy; the cache keeps builder order
         rng.shuffle(choices)
         return choices
 

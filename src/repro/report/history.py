@@ -53,12 +53,14 @@ def snapshot_from_summary(
     """Distil the merged summary into one trajectory point."""
     kernel_eps = {}
     speedup = 0.0
+    speedups = {}
     if summary.kernel is not None:
         kernel_eps = {
             name: run.events_per_sec
             for name, run in summary.kernel.kernels.items()
         }
         speedup = summary.kernel.speedup
+        speedups = dict(summary.kernel.speedups)
     cycles = max(
         (b.bench_cycles for b in summary.benches.values()), default=0
     )
@@ -73,6 +75,7 @@ def snapshot_from_summary(
         },
         kernel_events_per_sec=kernel_eps,
         kernel_speedup=speedup,
+        kernel_speedups=speedups,
         bench_cycles=cycles,
     )
 
@@ -145,13 +148,19 @@ def trajectory_figures(snapshots: Sequence[HistorySnapshot],
                 ys=[float(s.kernel_events_per_sec.get(kernel, 0.0))
                     for s in snapshots],
             ))
-        speedups = [s.kernel_speedup for s in snapshots if s.kernel_speedup]
-        if speedups:
-            fig.caption = (
-                f"Bucket-vs-heap speedup over the window: "
-                f"{min(speedups):.2f}x – {max(speedups):.2f}x "
-                f"(latest {speedups[-1]:.2f}x)."
-            )
+        latest = snapshots[-1].kernel_speedups
+        if latest:
+            fig.caption = "Latest speedups vs heap: " + ", ".join(
+                f"{k} {v:.2f}x" for k, v in sorted(latest.items())
+            ) + "."
+        else:
+            speedups = [s.kernel_speedup for s in snapshots if s.kernel_speedup]
+            if speedups:
+                fig.caption = (
+                    f"Bucket-vs-heap speedup over the window: "
+                    f"{min(speedups):.2f}x – {max(speedups):.2f}x "
+                    f"(latest {speedups[-1]:.2f}x)."
+                )
         figures.append(fig)
 
     # Wall clock: the total plus the currently slowest benches.

@@ -197,14 +197,33 @@ class KernelPerfRecord:
 
     workload: Dict = field(default_factory=dict)
     kernels: Dict[str, KernelRun] = field(default_factory=dict)
+    #: Historical scalar: bucket events/sec over heap (kept stable so old
+    #: trajectory points stay comparable).
     speedup: float = 0.0
+    #: Per-kernel events/sec over the heap baseline, one entry per
+    #: registered non-heap kernel that ran (``{"bucket": ..., "epoch": ...}``).
+    speedups: Dict[str, float] = field(default_factory=dict)
     parity_ok: bool = True
+
+    def __post_init__(self) -> None:
+        # Derive the per-kernel map when a caller (or a pre-epoch JSON
+        # file) supplied only the kernel runs: keeps direct construction
+        # and from_dict round-trips equal.
+        if not self.speedups and "heap" in self.kernels:
+            heap_eps = self.kernels["heap"].events_per_sec
+            if heap_eps:
+                self.speedups = {
+                    name: round(run.events_per_sec / heap_eps, 3)
+                    for name, run in self.kernels.items()
+                    if name != "heap" and run.events_per_sec
+                }
 
     def to_dict(self) -> Dict:
         return _stamp("repro-kernel-perf", {
             "workload": self.workload,
             "kernels": {k: run.to_dict() for k, run in self.kernels.items()},
             "speedup": self.speedup,
+            "speedups": self.speedups,
             "parity_ok": self.parity_ok,
         })
 
@@ -214,16 +233,19 @@ class KernelPerfRecord:
             name: KernelRun.from_dict(run)
             for name, run in (doc.get("kernels") or {}).items()
         }
+        heap_eps = kernels["heap"].events_per_sec if "heap" in kernels else 0.0
         speedup = doc.get("speedup", 0.0)
-        if not speedup and {"heap", "bucket"} <= set(kernels):
+        if not speedup and heap_eps and "bucket" in kernels:
             # v0 `repro perf --json` files carry no speedup field.
-            heap = kernels["heap"].events_per_sec
-            if heap:
-                speedup = round(kernels["bucket"].events_per_sec / heap, 3)
+            speedup = round(kernels["bucket"].events_per_sec / heap_eps, 3)
+        speedups = {
+            k: float(v) for k, v in (doc.get("speedups") or {}).items()
+        }
         return cls(
             workload=dict(doc.get("workload") or {}),
             kernels=kernels,
             speedup=speedup,
+            speedups=speedups,
             parity_ok=bool(doc.get("parity_ok", True)),
         )
 
@@ -382,6 +404,10 @@ class HistorySnapshot:
     #: Kernel throughput per scheduler, events/sec.
     kernel_events_per_sec: Dict[str, float] = field(default_factory=dict)
     kernel_speedup: float = 0.0
+    #: Per-kernel speedup over the heap baseline (one column per
+    #: registered non-heap kernel; pre-epoch snapshots carry only the
+    #: bucket-vs-heap scalar above).
+    kernel_speedups: Dict[str, float] = field(default_factory=dict)
     bench_cycles: int = 0
 
     @property

@@ -183,6 +183,16 @@ class InputUnit(FlitFeeder):
                 self._advance_head()
         return transit.packet, is_head, is_tail
 
+    def flit_run_handle(self, link: Link, vc: int):
+        """Invite the epoch kernel's token runs to forward this packet's
+        body flits inline: the head transit stays at the front of the
+        queue until its tail is taken (which always goes through
+        :meth:`take_flit`), so the link may read ``flits_buffered``, bump
+        ``flits_forwarded`` and return credits on our input link directly
+        -- the exact effects of repeated ``take_flit`` calls on non-tail
+        flits."""
+        return ("unit", self.queue[0], self.in_link, self.vc)
+
     @property
     def occupancy(self) -> int:
         """Flits currently buffered in this input unit."""
@@ -240,6 +250,11 @@ class Router(FlitSink):
         self, port: int, vc: int, packet: Packet, is_head: bool, is_tail: bool
     ) -> None:
         self._input_units[port][vc].accept_flit(packet, is_head, is_tail)
+
+    def flit_target(self, port: int, vc: int):
+        """Pre-bound accept for the epoch kernel's token runs: skips the
+        per-flit port/VC dictionary dispatch above."""
+        return self._input_units[port][vc].accept_flit
 
     def route(self, packet: Packet, in_port: int, in_vc: int) -> List[RouteChoice]:
         return self.route_fn(self, packet, in_port, in_vc)

@@ -1,14 +1,37 @@
-"""Simulation substrate: deterministic event kernel, RNG streams, barriers."""
+"""Simulation substrate: deterministic event kernel, RNG streams, barriers.
+
+Importing this package populates the scheduler registry: ``kernel``
+registers the ``bucket`` and ``heap`` baselines, ``epoch`` the
+token-batched kernel.  ``SCHEDULERS`` is kept as a lazy alias of
+:func:`~repro.sim.schedulers.scheduler_names` for pre-registry callers.
+"""
 
 from .barrier import Barrier
-from .kernel import SCHEDULERS, Event, KernelProfile, Simulator
+from .kernel import Event, KernelProfile, Simulator
+from .schedulers import (DEFAULT_SCHEDULER, Scheduler, register_scheduler,
+                         resolve_scheduler, scheduler_descriptions,
+                         scheduler_names)
 from .rng import RngFactory
+from . import epoch as _epoch  # noqa: F401  (registers the epoch scheduler)
 
 __all__ = [
     "Barrier",
+    "DEFAULT_SCHEDULER",
     "Event",
     "KernelProfile",
     "RngFactory",
     "SCHEDULERS",
+    "Scheduler",
     "Simulator",
+    "register_scheduler",
+    "resolve_scheduler",
+    "scheduler_descriptions",
+    "scheduler_names",
 ]
+
+
+def __getattr__(name: str):
+    # Backwards compatibility: the pre-registry API was a tuple constant.
+    if name == "SCHEDULERS":
+        return scheduler_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,190 @@
+"""The ``"epoch"`` scheduler: token-batched kernel for flit-level runs.
+
+FireSim's switch model advances whole latency-windows of link tokens per
+step instead of simulating each flit crossing as its own event.  A
+wormhole network cannot go that far -- per-flit credit returns and
+cut-through buffer arrivals are *observable* at exact cycles, and the
+parity suite holds every scheduler to byte-identical metrics -- but the
+same idea applies to the kernel *mechanics*: almost every event in a
+saturated run is a link moving one flit of a committed packet run, whose
+callback and ordering are fully determined when it is scheduled.
+
+The epoch kernel exploits that two ways:
+
+* :meth:`EpochSimulator.post` enqueues fire-and-forget work as a bare
+  ``(fn, args)`` tuple in the calendar ring -- no ``Event`` object, no
+  free-list recycling, no cancelled/pooled bookkeeping in the drain loop.
+  Cancellable events (:meth:`~repro.sim.kernel.RingKernel.at` /
+  ``schedule``) still allocate real Events and interleave with the tuples
+  positionally, so global ``(cycle, seq)`` order is preserved: within a
+  ring slot, list order *is* scheduling order, and the far-event heap is
+  drained first exactly as in the bucket kernel.
+
+* It advertises ``link_streams = True``, which lets
+  :class:`repro.links.link.Link` open per-link *token runs*: while one
+  packet has a VC to itself and no rival VC becomes eligible, the link
+  enqueues one pre-bound arrival record per flit instead of a generic
+  completion event, skips re-arbitration, bulk-claims NIC injection
+  flits (``FlitFeeder.take_flits``) and defers NIC ejection body-flit
+  deliveries (``FlitSink.accept_flits``).  Any rival activity truncates
+  the run and falls back to the classic per-flit path, so the fast path
+  is an optimisation of arbitration that would provably make the same
+  choices -- never a change in behaviour.
+
+Both pieces preserve the exact event order of ``heap``/``bucket``; the
+parity matrix in ``tests/test_scheduler_parity.py`` enforces it across
+every registered workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Callable, Optional
+
+from .kernel import _MASK, _WINDOW, Event, RingKernel
+from .schedulers import register_scheduler
+
+
+@register_scheduler
+class EpochSimulator(RingKernel):
+    """Ring kernel draining bare ``(fn, args)`` token records.
+
+    Queue layout is identical to :class:`~repro.sim.kernel.BucketSimulator`
+    (per-cycle ring + far heap); the difference is what a fire-and-forget
+    event *is*.  Tuples carry no seq -- their position in the ring slot is
+    their order -- so ``post`` is an append and the drain is an unpack.
+    """
+
+    name = "epoch"
+    description = ("calendar ring draining bare (fn, args) token records, "
+                   "with fused per-link flit runs")
+    link_streams = True
+
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget scheduling as a bare token record.
+
+        Near events (the overwhelming majority: flit times, route delays,
+        NIC overheads) append ``(fn, args)`` to the ring slot.  Far events
+        become real Events in the heap, where ``(cycle, seq)`` comparison
+        is needed for ordering.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self._live += 1
+        if delay < _WINDOW:
+            self._buckets[(self._now + delay) & _MASK].append((fn, args))
+            self._nbucket += 1
+        else:
+            event = Event(self._now + delay, self._seq, fn, args)
+            event._sim = self
+            self._seq += 1
+            heapq.heappush(self._heap, event)
+
+    def run_until(self, cycle: int) -> None:
+        """Run all events with timestamp strictly less than ``cycle``."""
+        self._running = True
+        try:
+            if self._profile is None:
+                self._run_ring(cycle)
+            else:
+                self._run_ring_profiled(cycle)
+        finally:
+            self._running = False
+        self._now = max(self._now, cycle)
+
+    def run(self, max_cycles: Optional[int] = None) -> None:
+        """Run until the event queue is empty (or ``max_cycles`` elapses)."""
+        if max_cycles is not None:
+            self.run_until(self._now + max_cycles)
+            return
+        self._running = True
+        try:
+            if self._profile is None:
+                self._run_ring(None)
+            else:
+                self._run_ring_profiled(None)
+        finally:
+            self._running = False
+
+    def _run_ring(self, bound: Optional[int]) -> None:
+        """Drain loop: heap Events first (strictly lower seq for any given
+        cycle -- see the kernel module docstring), then the ring slot
+        positionally, unpacking token tuples inline."""
+        heap = self._heap
+        buckets = self._buckets
+        heappop = heapq.heappop
+        while True:
+            c = self._next_event_cycle()
+            if c is None or (bound is not None and c >= bound):
+                return
+            self._now = c
+            while heap and heap[0].cycle == c:
+                event = heappop(heap)
+                if not event.cancelled:
+                    event._fired = True
+                    self._live -= 1
+                    event.fn(*event.args)
+            bucket = buckets[c & _MASK]
+            i = 0
+            while i < len(bucket):  # handlers may append same-cycle events
+                entry = bucket[i]
+                i += 1
+                if type(entry) is tuple:
+                    self._live -= 1
+                    fn, args = entry
+                    fn(*args)
+                elif not entry.cancelled:
+                    entry._fired = True
+                    self._live -= 1
+                    entry.fn(*entry.args)
+            self._nbucket -= i
+            del bucket[:]
+
+    def _run_ring_profiled(self, bound: Optional[int]) -> None:
+        """Timed twin of :meth:`_run_ring`, with the same per-event
+        accounting as the other kernels (honest cross-kernel events/sec)."""
+        heap = self._heap
+        buckets = self._buckets
+        heappop = heapq.heappop
+        profile = self._profile
+        clock = time.perf_counter
+        loop_start = clock()
+        try:
+            while True:
+                c = self._next_event_cycle()
+                if c is None or (bound is not None and c >= bound):
+                    return
+                self._now = c
+                while heap and heap[0].cycle == c:
+                    event = heappop(heap)
+                    if not event.cancelled:
+                        event._fired = True
+                        self._live -= 1
+                        start = clock()
+                        event.fn(*event.args)
+                        profile.note(event.fn, clock() - start)
+                        profile.events += 1
+                bucket = buckets[c & _MASK]
+                i = 0
+                while i < len(bucket):
+                    entry = bucket[i]
+                    i += 1
+                    if type(entry) is tuple:
+                        self._live -= 1
+                        fn, args = entry
+                        start = clock()
+                        fn(*args)
+                        profile.note(fn, clock() - start)
+                        profile.events += 1
+                    elif not entry.cancelled:
+                        entry._fired = True
+                        self._live -= 1
+                        start = clock()
+                        entry.fn(*entry.args)
+                        profile.note(entry.fn, clock() - start)
+                        profile.events += 1
+                self._nbucket -= i
+                del bucket[:]
+        finally:
+            profile.loop_seconds += clock() - loop_start

@@ -7,12 +7,13 @@ order -- but use an event queue so idle components cost nothing.  Events that
 are scheduled for the same cycle fire in the order they were scheduled, which
 makes every run bit-for-bit reproducible for a given seed.
 
-Two schedulers implement those semantics:
+Scheduler implementations are pluggable (see :mod:`repro.sim.schedulers`);
+this module registers the two built-in baselines:
 
 ``"heap"``
     The original single binary heap keyed by ``(cycle, seq)``.  Kept intact
     as the measured baseline (``repro perf`` compares against it) and as the
-    executable specification the parity tests diff the fast path against.
+    executable specification the parity tests diff the fast paths against.
 
 ``"bucket"`` (the default)
     A hybrid calendar queue.  Almost every event in a flit-level run is
@@ -27,11 +28,15 @@ Two schedulers implement those semantics:
     free-list (recycling the millions of short-lived ``Event`` objects per
     run), this is the kernel fast path.
 
-Ordering across the two stores is still global ``(cycle, seq)`` order: a
-heap event for cycle *c* needed at least a ``_WINDOW``-cycle lead to land
-in the heap, so it was scheduled at a strictly earlier simulated time --
-and therefore holds a strictly lower sequence number -- than every bucket
-event for *c*.  Draining the heap before the bucket at each cycle is
+``repro.sim.epoch`` registers a third scheduler, ``"epoch"``, which keeps
+the same ring but posts fire-and-forget events as bare ``(fn, args)``
+tuples and lets links fuse per-flit token runs (see that module).
+
+Ordering across the heap and ring stores is still global ``(cycle, seq)``
+order: a heap event for cycle *c* needed at least a ``_WINDOW``-cycle lead
+to land in the heap, so it was scheduled at a strictly earlier simulated
+time -- and therefore holds a strictly lower sequence number -- than every
+ring event for *c*.  Draining the heap before the ring at each cycle is
 exactly seq order, which the parity suite verifies workload-by-workload.
 
 Self-profiling (:meth:`Simulator.enable_profiling`) measures where the
@@ -48,18 +53,26 @@ import heapq
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-#: Scheduler implementations selectable at :class:`Simulator` construction.
-SCHEDULERS = ("bucket", "heap")
+from .schedulers import (DEFAULT_SCHEDULER, Scheduler, register_scheduler,
+                         resolve_scheduler, scheduler_names)
 
 #: Span of the bucket ring in cycles (power of two so the slot index is a
 #: mask).  Events scheduled fewer than ``_WINDOW`` cycles ahead take the
-#: bucket fast path; everything else falls back to the heap.
+#: ring fast path; everything else falls back to the heap.
 _WINDOW = 64
 _MASK = _WINDOW - 1
 
 #: Upper bound on the :meth:`Simulator.post` free list, so a burst of
 #: simultaneously-pending events cannot pin memory forever.
 _FREE_MAX = 4096
+
+
+def __getattr__(name: str):
+    # Backwards compatibility: the pre-registry API was a module-level
+    # tuple.  Resolved lazily so late-registered schedulers appear.
+    if name == "SCHEDULERS":
+        return scheduler_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Event:
@@ -165,28 +178,32 @@ class KernelProfile:
         return "\n".join(lines)
 
 
-class Simulator:
+class Simulator(Scheduler):
     """Event-driven simulator with cycle-granularity virtual time.
 
-    ``scheduler`` picks the event-queue implementation (see the module
-    docstring): ``"bucket"`` is the hybrid calendar-queue fast path and the
-    default; ``"heap"`` is the original binary-heap kernel, kept as the
-    baseline the parity tests and ``repro perf`` compare against.  Both
-    fire events in identical ``(cycle, seq)`` order.
+    ``Simulator(scheduler=name)`` dispatches construction through the
+    scheduler registry: it returns an instance of whichever
+    :class:`~repro.sim.schedulers.Scheduler` subclass is registered under
+    ``name`` (default :data:`~repro.sim.schedulers.DEFAULT_SCHEDULER`).
+    All implementations fire events in identical ``(cycle, seq)`` order;
+    they differ only in queue mechanics and speed.
     """
 
-    def __init__(self, scheduler: str = "bucket") -> None:
-        if scheduler not in SCHEDULERS:
+    def __new__(cls, scheduler: Optional[str] = None):
+        if cls is Simulator:
+            name = DEFAULT_SCHEDULER if scheduler is None else scheduler
+            return object.__new__(resolve_scheduler(name))
+        return object.__new__(cls)
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        if scheduler is not None and scheduler != self.name:
             raise ValueError(
-                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+                f"scheduler mismatch: {type(self).__name__} implements "
+                f"{self.name!r}, not {scheduler!r}"
             )
-        self._scheduler = scheduler
-        self._use_buckets = scheduler == "bucket"
         self._now = 0
         self._seq = 0
         self._heap: List[Event] = []
-        self._buckets: List[List[Event]] = [[] for _ in range(_WINDOW)]
-        self._nbucket = 0  # events (incl. cancelled husks) in the ring
         self._free: List[Event] = []
         self._running = False
         self._live = 0
@@ -200,7 +217,7 @@ class Simulator:
     @property
     def scheduler(self) -> str:
         """Which event-queue implementation this kernel runs on."""
-        return self._scheduler
+        return self.name
 
     @property
     def profile(self) -> Optional[KernelProfile]:
@@ -220,6 +237,24 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         return self.at(self._now + delay, fn, *args)
 
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued.  O(1): a live
+        count is maintained on schedule/cancel/pop (the liveness watchdog
+        polls this every check interval)."""
+        return self._live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        queued = len(self._heap) + getattr(self, "_nbucket", 0)
+        return f"<Simulator {self.name} now={self._now} queued={queued}>"
+
+
+class HeapSimulator(Simulator):
+    """The original binary-heap kernel: the preserved, measured baseline."""
+
+    name = "heap"
+    description = ("single binary heap keyed by (cycle, seq); the slow, "
+                   "obviously-correct reference implementation")
+
     def at(self, cycle: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute ``cycle``."""
         if cycle < self._now:
@@ -230,12 +265,139 @@ class Simulator:
         event._sim = self
         self._seq += 1
         self._live += 1
-        if self._use_buckets and cycle - self._now < _WINDOW:
+        heapq.heappush(self._heap, event)
+        return event
+
+    def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`.  The heap kernel is the
+        preserved baseline: one fresh allocation per event, exactly as the
+        original kernel behaved -- no pooling, no recycling."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self.at(self._now + delay, fn, *args)
+
+    def run_until(self, cycle: int) -> None:
+        """Run all events with timestamp strictly less than ``cycle``.
+
+        Afterwards ``self.now == cycle`` (unless the event queue drained
+        earlier, in which case ``now`` still advances to ``cycle``).
+        """
+        self._running = True
+        heap = self._heap
+        try:
+            if self._profile is None:
+                while heap and heap[0].cycle < cycle:
+                    event = heapq.heappop(heap)
+                    if event.cancelled:
+                        continue
+                    event._fired = True
+                    self._live -= 1
+                    self._now = event.cycle
+                    event.fn(*event.args)
+            else:
+                self._run_profiled(lambda: heap and heap[0].cycle < cycle)
+        finally:
+            self._running = False
+        self._now = max(self._now, cycle)
+
+    def run(self, max_cycles: Optional[int] = None) -> None:
+        """Run until the event queue is empty (or ``max_cycles`` elapses)."""
+        if max_cycles is not None:
+            self.run_until(self._now + max_cycles)
+            return
+        self._running = True
+        heap = self._heap
+        try:
+            if self._profile is None:
+                while heap:
+                    event = heapq.heappop(heap)
+                    if event.cancelled:
+                        continue
+                    event._fired = True
+                    self._live -= 1
+                    self._now = event.cycle
+                    event.fn(*event.args)
+            else:
+                self._run_profiled(lambda: bool(heap))
+        finally:
+            self._running = False
+
+    def _run_profiled(self, more: Callable[[], Any]) -> None:
+        """The timed heap event loop: same semantics as the plain loops,
+        plus per-handler wall-clock accounting."""
+        heap = self._heap
+        profile = self._profile
+        clock = time.perf_counter
+        loop_start = clock()
+        try:
+            while more():
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                event._fired = True
+                self._live -= 1
+                self._now = event.cycle
+                start = clock()
+                event.fn(*event.args)
+                profile.note(event.fn, clock() - start)
+                profile.events += 1
+        finally:
+            profile.loop_seconds += clock() - loop_start
+
+
+class RingKernel(Simulator):
+    """Shared machinery for ring-based kernels (``bucket``, ``epoch``):
+    the ``_WINDOW``-cycle calendar ring plus the far-event heap."""
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        super().__init__(scheduler)
+        self._buckets: List[List] = [[] for _ in range(_WINDOW)]
+        self._nbucket = 0  # entries (incl. cancelled husks) in the ring
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle holding a queued event (husks included), or None.
+
+        With the ring non-empty the scan terminates within ``_WINDOW``
+        slots by construction; in flit-saturated runs it terminates in one
+        or two.
+        """
+        heap = self._heap
+        if self._nbucket:
+            buckets = self._buckets
+            c = self._now
+            while not buckets[c & _MASK]:
+                c += 1
+            if heap and heap[0].cycle < c:
+                return heap[0].cycle
+            return c
+        if heap:
+            return heap[0].cycle
+        return None
+
+    def at(self, cycle: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute ``cycle``."""
+        if cycle < self._now:
+            raise ValueError(
+                f"cannot schedule at cycle {cycle}; current cycle is {self._now}"
+            )
+        event = Event(cycle, self._seq, fn, args)
+        event._sim = self
+        self._seq += 1
+        self._live += 1
+        if cycle - self._now < _WINDOW:
             self._buckets[cycle & _MASK].append(event)
             self._nbucket += 1
         else:
             heapq.heappush(self._heap, event)
         return event
+
+
+class BucketSimulator(RingKernel):
+    """The hybrid calendar-queue kernel (see the module docstring)."""
+
+    name = "bucket"
+    description = ("calendar-queue ring for near events + heap fallback, "
+                   "with pooled fire-and-forget events (the default)")
 
     def post(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule fire-and-forget: like :meth:`schedule`, but returns no
@@ -252,11 +414,6 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        if not self._use_buckets:
-            # The heap scheduler is the preserved baseline: one fresh
-            # allocation per event, exactly as the original kernel behaved.
-            self.at(self._now + delay, fn, *args)
-            return
         cycle = self._now + delay
         free = self._free
         if free:
@@ -280,31 +437,13 @@ class Simulator:
             heapq.heappush(self._heap, event)
 
     def run_until(self, cycle: int) -> None:
-        """Run all events with timestamp strictly less than ``cycle``.
-
-        Afterwards ``self.now == cycle`` (unless the event queue drained
-        earlier, in which case ``now`` still advances to ``cycle``).
-        """
+        """Run all events with timestamp strictly less than ``cycle``."""
         self._running = True
         try:
-            if self._use_buckets:
-                if self._profile is None:
-                    self._run_buckets(cycle)
-                else:
-                    self._run_buckets_profiled(cycle)
+            if self._profile is None:
+                self._run_buckets(cycle)
             else:
-                heap = self._heap
-                if self._profile is None:
-                    while heap and heap[0].cycle < cycle:
-                        event = heapq.heappop(heap)
-                        if event.cancelled:
-                            continue
-                        event._fired = True
-                        self._live -= 1
-                        self._now = event.cycle
-                        event.fn(*event.args)
-                else:
-                    self._run_profiled(lambda: heap and heap[0].cycle < cycle)
+                self._run_buckets_profiled(cycle)
         finally:
             self._running = False
         self._now = max(self._now, cycle)
@@ -316,47 +455,12 @@ class Simulator:
             return
         self._running = True
         try:
-            if self._use_buckets:
-                if self._profile is None:
-                    self._run_buckets(None)
-                else:
-                    self._run_buckets_profiled(None)
+            if self._profile is None:
+                self._run_buckets(None)
             else:
-                heap = self._heap
-                if self._profile is None:
-                    while heap:
-                        event = heapq.heappop(heap)
-                        if event.cancelled:
-                            continue
-                        event._fired = True
-                        self._live -= 1
-                        self._now = event.cycle
-                        event.fn(*event.args)
-                else:
-                    self._run_profiled(lambda: bool(heap))
+                self._run_buckets_profiled(None)
         finally:
             self._running = False
-
-    # ------------------------------------------------------ bucket fast path
-    def _next_event_cycle(self) -> Optional[int]:
-        """Earliest cycle holding a queued event (husks included), or None.
-
-        With the ring non-empty the scan terminates within ``_WINDOW``
-        slots by construction; in flit-saturated runs it terminates in one
-        or two.
-        """
-        heap = self._heap
-        if self._nbucket:
-            buckets = self._buckets
-            c = self._now
-            while not buckets[c & _MASK]:
-                c += 1
-            if heap and heap[0].cycle < c:
-                return heap[0].cycle
-            return c
-        if heap:
-            return heap[0].cycle
-        return None
 
     def _run_buckets(self, bound: Optional[int]) -> None:
         """The calendar-queue event loop: identical firing order to the
@@ -450,35 +554,9 @@ class Simulator:
         finally:
             profile.loop_seconds += clock() - loop_start
 
-    # --------------------------------------------------------- heap baseline
-    def _run_profiled(self, more: Callable[[], Any]) -> None:
-        """The timed heap event loop: same semantics as the plain loops,
-        plus per-handler wall-clock accounting."""
-        heap = self._heap
-        profile = self._profile
-        clock = time.perf_counter
-        loop_start = clock()
-        try:
-            while more():
-                event = heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                event._fired = True
-                self._live -= 1
-                self._now = event.cycle
-                start = clock()
-                event.fn(*event.args)
-                profile.note(event.fn, clock() - start)
-                profile.events += 1
-        finally:
-            profile.loop_seconds += clock() - loop_start
 
-    def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued.  O(1): a live
-        count is maintained on schedule/cancel/pop (the liveness watchdog
-        polls this every check interval)."""
-        return self._live
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<Simulator {self._scheduler} now={self._now} "
-                f"queued={len(self._heap) + self._nbucket}>")
+# Registration order is presentation order (CLI choices, perf tables):
+# keep the historical ("bucket", "heap") prefix; epoch appends on import
+# of repro.sim.epoch.
+register_scheduler(BucketSimulator)
+register_scheduler(HeapSimulator)

@@ -1,14 +1,16 @@
-"""Scheduler parity: the bucket fast path must be indistinguishable from
-the heap baseline.
+"""Scheduler parity: every registered kernel must be indistinguishable
+from the heap baseline.
 
-The bucket scheduler is only allowed to exist because it changes *nothing*
-observable: same-cycle events fire in scheduling order, cross-cycle events
-fire in time order, and every workload produces bit-identical results.
-This suite enforces that the hard way -- it runs every registered traffic
-workload under both kernels and diffs the full structured metrics JSON
-(totals, latency histograms, per-NIC counters, protocol event counts)
-byte-for-byte.  Any divergence, however small, is a kernel bug, never
-noise: the simulator is deterministic by construction.
+A non-heap scheduler (the bucket calendar ring, the epoch token-run
+kernel) is only allowed to exist because it changes *nothing* observable:
+same-cycle events fire in scheduling order, cross-cycle events fire in
+time order, and every workload produces bit-identical results.  This
+suite enforces that the hard way -- it runs every registered traffic
+workload under every kernel in the scheduler registry and diffs the full
+structured metrics JSON (totals, latency histograms, per-NIC counters,
+protocol event counts) byte-for-byte against heap.  Any divergence,
+however small, is a kernel bug, never noise: the simulator is
+deterministic by construction.
 """
 
 import json
@@ -17,6 +19,7 @@ import pytest
 
 from repro.experiments import ExperimentSpec, run_experiment
 from repro.obs import Observability, metrics_json
+from repro.sim import scheduler_names
 from repro.traffic import (
     CShiftConfig,
     Em3dConfig,
@@ -60,10 +63,19 @@ WORKLOADS = {
     ),
 }
 
+#: Every kernel that must match the heap baseline.
+CHALLENGERS = tuple(k for k in scheduler_names() if k != "heap")
+
 
 def test_parity_suite_covers_every_registered_workload():
     """A workload added to the registry must be added here too."""
     assert set(WORKLOADS) == set(traffic_names())
+
+
+def test_parity_suite_covers_every_registered_kernel():
+    """A scheduler added to the registry is automatically matrixed here."""
+    assert "heap" in scheduler_names()
+    assert CHALLENGERS  # at least bucket and epoch
 
 
 def _canonical_metrics(name: str, kernel: str) -> str:
@@ -84,12 +96,13 @@ def _canonical_metrics(name: str, kernel: str) -> str:
     return json.dumps(metrics, sort_keys=True)
 
 
+@pytest.mark.parametrize("kernel", CHALLENGERS)
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
-def test_bucket_and_heap_metrics_byte_identical(name):
+def test_kernel_metrics_byte_identical_to_heap(name, kernel):
     heap = _canonical_metrics(name, "heap")
-    bucket = _canonical_metrics(name, "bucket")
-    assert bucket == heap, (
-        f"workload {name!r}: bucket scheduler diverged from the heap "
+    challenger = _canonical_metrics(name, kernel)
+    assert challenger == heap, (
+        f"workload {name!r}: {kernel} scheduler diverged from the heap "
         "baseline (metrics JSON not byte-identical)"
     )
 
@@ -116,5 +129,53 @@ def _canonical_spray_metrics(kernel: str) -> str:
     return json.dumps(metrics, sort_keys=True)
 
 
-def test_spraying_fabric_parity():
-    assert _canonical_spray_metrics("bucket") == _canonical_spray_metrics("heap")
+@pytest.mark.parametrize("kernel", CHALLENGERS)
+def test_spraying_fabric_parity(kernel):
+    assert _canonical_spray_metrics(kernel) == _canonical_spray_metrics("heap")
+
+
+def _canonical_mesh_metrics(kernel: str) -> str:
+    """A torus (cyclic credit chains, VC-class dateline routing) under the
+    plain NIC: exercises the single-VC-per-direction links where epoch
+    token runs cover almost all flit traffic."""
+    spec = ExperimentSpec(
+        network="torus2d",
+        traffic=TrafficSpec("hotspot", HotSpotConfig(packets_per_node=12)),
+        num_nodes=NODES,
+        nic_mode="plain",
+        max_cycles=300_000,
+        seed=11,
+        kernel=kernel,
+        observe=Observability(events=True),
+    )
+    result = run_experiment(spec)
+    metrics = metrics_json(result)
+    metrics.pop("self_profile", None)
+    return json.dumps(metrics, sort_keys=True)
+
+
+@pytest.mark.parametrize("kernel", CHALLENGERS)
+def test_torus_parity(kernel):
+    assert _canonical_mesh_metrics(kernel) == _canonical_mesh_metrics("heap")
+
+
+def test_long_window_epoch_smoke():
+    """A >=200k-cycle window runs to completion under the epoch kernel and
+    matches heap exactly -- the 'previously truncated' configuration class
+    the token runs were built to unlock."""
+    results = {}
+    for kernel in ("heap", "epoch"):
+        spec = ExperimentSpec(
+            network="fattree",
+            traffic=TrafficSpec("heavy"),
+            num_nodes=NODES,
+            run_cycles=200_000,
+            seed=3,
+            kernel=kernel,
+        )
+        result = run_experiment(spec)
+        metrics = metrics_json(result)
+        metrics.pop("self_profile", None)
+        results[kernel] = json.dumps(metrics, sort_keys=True)
+        assert result.cycles >= 200_000
+    assert results["epoch"] == results["heap"]
