@@ -25,9 +25,9 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
-from repro.report.schema import (BenchRecord, BenchSummary, EngineStats,
-                                 KernelPerfRecord, SchemaError, load_record,
-                                 write_record_atomic)
+from repro.report.schema import (BenchRecord, BenchSummary, CampaignRecord,
+                                 EngineStats, KernelPerfRecord, SchemaError,
+                                 load_record, write_record_atomic)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -148,6 +148,17 @@ def pytest_sessionfinish(session, exitstatus):
             continue
         if isinstance(record, BenchRecord):
             summary.benches[path.stem] = record
+    for sub in ("campaigns", "chaos/campaigns"):
+        campaign_dir = RESULTS_DIR / sub
+        if not campaign_dir.is_dir():
+            continue
+        for path in sorted(campaign_dir.glob("*.json")):
+            try:
+                record = load_record(path)
+            except (SchemaError, ValueError, OSError):  # pragma: no cover
+                continue
+            if isinstance(record, CampaignRecord):
+                summary.campaigns[record.campaign_id] = record
     if not summary.benches:
         return
     kernel_bench = summary.benches.get("test_kernel_events_per_sec")

@@ -47,13 +47,17 @@ import json
 import sys
 from typing import List, Optional
 
+from pathlib import Path
+
 from .analysis import NetworkModel, characterize, recommend_params
+from .farm import DEFAULT_EXECUTOR, executor_names, interrupts_as_keyboard
 from .faults import FaultPlan
 from .metrics import degradation_report, format_degradation
 from .experiments import (
     ExperimentSpec,
     SweepEngine,
     best_params,
+    offered_load_specs,
     cshift,
     default_param_grid,
     em3d,
@@ -417,6 +421,8 @@ def _cmd_chaos(args) -> int:
         nic_modes=tuple(m for m in args.nic_modes.split(",") if m),
         path_skews=tuple(_int_list(args.path_skews)) or (0,),
         max_faults=args.max_faults,
+        executor=args.executor,
+        retries=args.retries,
         jobs=args.jobs,
         point_timeout=args.point_timeout,
         shrink_budget=args.shrink_budget,
@@ -429,6 +435,122 @@ def _cmd_chaos(args) -> int:
         print(f"  detail: {finding.detail.splitlines()[0]}")
         print(f"  replay: python -m repro chaos --replay {finding.artifact}")
     return 1 if report.findings else 0
+
+
+def _cmd_farm(args) -> int:
+    """Run (or resume) a fault-tolerant offered-load campaign.
+
+    The campaign is the Section-1 operating-range grid (``--gaps``), run
+    through the :class:`~repro.farm.FarmEngine`: a pluggable execution
+    backend (``--executor``), per-point retry with backoff, poison-point
+    quarantine, and a crash-surviving manifest checkpointed after every
+    settled point.  The campaign id is a deterministic function of the
+    grid, so re-issuing the same command after *any* interruption --
+    Ctrl-C, SIGTERM, power loss -- resumes from the manifest instead of
+    starting over; ``--resume FILE`` does the same from an explicit
+    manifest, needing no grid flags at all.
+
+    The per-point table goes to stdout and is byte-identical however the
+    campaign was scheduled (serial, parallel, interrupted-and-resumed)
+    -- the property the CI farm-smoke job diffs.  Progress, the manifest
+    path, and farm statistics go to stderr.
+    """
+    from .farm import (
+        FarmEngine,
+        FarmPolicy,
+        ManifestMismatch,
+        RunManifest,
+        campaign_id_for,
+    )
+
+    policy = FarmPolicy(
+        retries=args.retries, poison_after=args.poison_after, seed=args.seed,
+    )
+    if args.resume:
+        manifest = RunManifest.load(args.resume)
+        specs = [ExperimentSpec.from_dict(d) for d in manifest.specs]
+        executor = manifest.executor
+        try:
+            manifest.verify_resumable(specs)
+        except ManifestMismatch as exc:
+            # Stale code: the settled results are invalid.  Keep the
+            # campaign (same file, same specs) but start its ledger over.
+            print(f"farm: {exc}; restarting campaign", file=sys.stderr)
+            manifest = RunManifest.new(
+                manifest.campaign_id, specs, executor, policy.as_dict(),
+                path=Path(args.resume),
+            )
+    else:
+        if not args.network:
+            print("farm: --network is required unless --resume is given",
+                  file=sys.stderr)
+            return 2
+        specs = offered_load_specs(
+            args.network, _int_list(args.gaps), nic_mode=args.nic,
+            num_nodes=args.nodes, run_cycles=args.cycles, seed=args.seed,
+        )
+        executor = args.executor
+        campaign = args.campaign or campaign_id_for(specs, executor)
+        path = Path(args.manifest_dir) / f"{campaign}.json"
+        manifest = None
+        if path.is_file():
+            try:
+                manifest = RunManifest.load(path)
+                manifest.verify_resumable(specs)
+                print(f"farm: resuming campaign {campaign} from {path}",
+                      file=sys.stderr)
+            except (ManifestMismatch, ValueError, OSError) as exc:
+                print(f"farm: existing manifest not resumable ({exc}); "
+                      "starting fresh", file=sys.stderr)
+                manifest = None
+        if manifest is None:
+            manifest = RunManifest.new(
+                campaign, specs, executor, policy.as_dict(), path=path,
+            )
+
+    def progress(done, total, point):
+        status = "cache" if point.cached else ("ERROR" if point.error else "ran")
+        print(f"  [{done}/{total}] {point.label}: {status}", file=sys.stderr)
+
+    engine = FarmEngine(
+        executor=executor,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        policy=policy,
+        progress=progress if not args.quiet else None,
+        point_timeout=args.point_timeout,
+        manifest=manifest,
+    )
+    try:
+        points = engine.run(specs)
+    except KeyboardInterrupt:
+        print(f"farm: interrupted; manifest checkpointed at {manifest.path}\n"
+              f"farm: resume with: python -m repro farm --resume "
+              f"{manifest.path}", file=sys.stderr)
+        return 130
+
+    print(f"farm campaign {manifest.campaign_id} ({len(points)} point(s)):")
+    for point in points:
+        if point.error:
+            status = ("POISONED" if point.poisoned
+                      else "TIMEOUT" if point.timed_out else "ERROR")
+            print(f"  {point.label:24s}  {status} (diagnosis in manifest)")
+        else:
+            print(f"  {point.label:24s}  delivered={point.delivered:>8,}  "
+                  f"throughput={point.throughput:8.1f}/kcycle")
+    stats = engine.stats
+    print(f"manifest : {manifest.path}", file=sys.stderr)
+    print(
+        f"farm: {stats.points} point(s), {stats.executed} executed, "
+        f"{stats.resumed} resumed, {stats.cache_hits} from cache, "
+        f"{stats.retries} retr{'y' if stats.retries == 1 else 'ies'}, "
+        f"{stats.worker_deaths} worker death(s), {stats.poisoned} poisoned, "
+        f"{stats.errors} error(s), {stats.wall_s:.2f}s "
+        f"on '{executor}' with --jobs {args.jobs}",
+        file=sys.stderr,
+    )
+    return 1 if stats.errors else 0
 
 
 def _cmd_perf(args) -> int:
@@ -730,6 +852,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "from; non-zero needs a -spray network")
     chaos.add_argument("--max-faults", type=int, default=3,
                        help="fault events per trial drawn from 1..N")
+    chaos.add_argument("--executor", default=DEFAULT_EXECUTOR,
+                       choices=executor_names(),
+                       help="farm execution backend for the trial fan-out "
+                       "('subprocess' contains hard worker crashes)")
+    chaos.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per trial when it kills its "
+                       "worker or trips the watchdog")
     chaos.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the trial fan-out")
     chaos.add_argument("--point-timeout", type=float, default=None,
@@ -747,6 +876,60 @@ def build_parser() -> argparse.ArgumentParser:
                        "(exit 0 if it reproduces, 2 if not)")
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress per-trial progress on stderr")
+
+    farm = sub.add_parser(
+        "farm",
+        help="run (or --resume) a fault-tolerant offered-load campaign: "
+        "pluggable executors, retry + poison quarantine, crash-surviving "
+        "manifest",
+    )
+    farm.add_argument("--network", default=None,
+                      choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES,
+                      help="campaign network (required unless --resume)")
+    farm.add_argument("--resume", default=None, metavar="FILE",
+                      help="resume a campaign from its manifest; the grid "
+                      "is rebuilt from the manifest, no other flags needed")
+    farm.add_argument("--executor", default=DEFAULT_EXECUTOR,
+                      choices=executor_names(),
+                      help="execution backend: 'pool' shares worker "
+                      "processes (fast), 'subprocess' isolates each point "
+                      "in its own interpreter (hard crashes contained and "
+                      "exactly attributed)")
+    farm.add_argument("--retries", type=int, default=2,
+                      help="extra attempts per point when the point kills "
+                      "its worker or trips the watchdog")
+    farm.add_argument("--poison-after", type=int, default=None, metavar="N",
+                      help="quarantine a point after N worker deaths "
+                      "(default: its whole attempt budget)")
+    farm.add_argument("--campaign", default=None, metavar="ID",
+                      help="campaign id override (default: a deterministic "
+                      "hash of the grid, so reruns resume naturally)")
+    farm.add_argument("--manifest-dir", default="benchmarks/results/campaigns",
+                      metavar="DIR",
+                      help="where campaign manifests are checkpointed")
+    farm.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="concurrent points (1 = one at a time)")
+    farm.add_argument("--point-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-point liveness watchdog: a silent worker "
+                      "is killed and the point retried, then quarantined")
+    farm.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not populate the on-disk result "
+                      "cache")
+    farm.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="override the result-cache directory")
+    farm.add_argument("--nodes", type=int, default=64)
+    farm.add_argument("--cycles", type=int, default=10_000,
+                      help="measurement window per grid point")
+    farm.add_argument("--seed", type=int, default=0)
+    farm.add_argument("--nic", default="plain", choices=NIC_CHOICES,
+                      help="NIC mode for the offered-load grid")
+    farm.add_argument("--gaps", default="800,400,200,100,0",
+                      metavar="G,G,...",
+                      help="inter-send gaps of the offered-load grid "
+                      "(big gap = light load)")
+    farm.add_argument("--quiet", action="store_true",
+                      help="suppress per-point progress on stderr")
 
     perf = sub.add_parser(
         "perf",
@@ -798,13 +981,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _interruptible(handler, what: str):
+    """Wrap a long-running command with clean SIGINT/SIGTERM handling.
+
+    Inside the block SIGTERM raises ``KeyboardInterrupt`` like SIGINT
+    does, so both unwind through the engines' interrupt paths (which
+    flush caches and manifests on the way out) and exit 130 instead of
+    dying mid-write.  Commands that want a richer message (``farm``
+    prints its resume hint) catch ``KeyboardInterrupt`` themselves and
+    return 130 before this wrapper sees it.
+    """
+    def wrapped(args) -> int:
+        try:
+            with interrupts_as_keyboard():
+                return handler(args)
+        except KeyboardInterrupt:
+            print(f"{what}: interrupted; partial results already on disk",
+                  file=sys.stderr)
+            return 130
+    return wrapped
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
-        "sweep": _cmd_sweep,
-        "chaos": _cmd_chaos,
+        "sweep": _interruptible(_cmd_sweep, "sweep"),
+        "chaos": _interruptible(_cmd_chaos, "chaos"),
+        "farm": _interruptible(_cmd_farm, "farm"),
         "perf": _cmd_perf,
         "report": _cmd_report,
         "characterize": _cmd_characterize,

@@ -37,6 +37,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
@@ -110,6 +111,12 @@ class SweepPoint:
     #: The point hit the engine's per-point wall-clock timeout (its
     #: ``error`` carries the diagnosis; never cached).
     timed_out: bool = False
+    #: The worker process executing (or co-resident with) this point died
+    #: hard -- ``os._exit``, segfault, OOM kill -- rather than raising.
+    worker_died: bool = False
+    #: The farm quarantined this point after it killed workers repeatedly
+    #: (see :class:`repro.farm.FarmPolicy`); never set by the bare engine.
+    poisoned: bool = False
 
     @property
     def ok(self) -> bool:
@@ -129,6 +136,7 @@ class SweepStats:
     executed: int = 0
     errors: int = 0
     timeouts: int = 0
+    worker_deaths: int = 0
     wall_s: float = 0.0
 
     @property
@@ -142,6 +150,7 @@ class SweepStats:
             "executed": self.executed,
             "errors": self.errors,
             "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
             "hit_rate": round(self.hit_rate, 4),
             "wall_s": round(self.wall_s, 3),
         }
@@ -216,6 +225,8 @@ def _point_from(spec: ExperimentSpec, result: Dict, *, cached: bool) -> SweepPoi
             label, spec.nifdy_params, 0, 0, spec_hash=_safe_hash(spec),
             completed=False, error=result["error"], wall_s=wall_s,
             timed_out=bool(result.get("timed_out")),
+            worker_died=bool(result.get("worker_died")),
+            poisoned=bool(result.get("poisoned")),
         )
     return SweepPoint(
         label,
@@ -295,6 +306,8 @@ class SweepEngine:
                 self.stats.errors += 1
                 if point.timed_out:
                     self.stats.timeouts += 1
+                if point.worker_died:
+                    self.stats.worker_deaths += 1
             elif point.cached:
                 self.stats.cache_hits += 1
             else:
@@ -364,27 +377,47 @@ class SweepEngine:
             self._run_one(specs[i], i, settle)
 
     def _run_pool(self, specs, indices, settle) -> List[int]:
-        """One pool generation.  The first timeout settles ONLY the point
-        we were waiting on (it is provably stuck: it had the full bound);
-        every other unresolved future is rescued into the next generation,
-        because the executor's call-queue prefetch marks queued futures as
-        running, making "starved behind the hang" indistinguishable from
-        "genuinely hung" here.  A genuinely hung rescued point times out
-        again as the first-waited point of its own generation, so every
-        generation settles at least one point and the loop terminates."""
+        """One pool generation.  The first timeout or pool break settles
+        ONLY the point we were waiting on; every other unresolved future is
+        rescued into the next generation, because the executor's call-queue
+        prefetch marks queued futures as running, making "starved behind
+        the failure" indistinguishable from "genuinely failing" here.
+
+        * Timeout: the waited point is provably stuck (it had the full
+          bound); it settles ``timed_out`` and the stuck worker is
+          terminated.
+        * :class:`BrokenProcessPool` (a worker died hard -- ``os._exit``,
+          segfault, OOM kill -- which poisons the *whole* executor): the
+          waited point settles errored with a ``worker_died`` marker and is
+          never cached.  With several workers the victim can be collateral
+          rather than the killer, but a rescued killer breaks its own next
+          generation and settles there, so attribution converges.
+
+        Either way a generation with survivors settles at least one point,
+        so the rescue loop terminates."""
         rescue: List[int] = []
-        hung = False
+        hung = False       # a worker is wedged and must be terminated
+        degraded = False   # this pool is done taking new results
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(indices)))
         try:
-            futures = {
-                i: pool.submit(_execute_spec_dict, specs[i].to_dict())
-                for i in indices
-            }
+            futures = {}
+            for i in indices:
+                try:
+                    futures[i] = pool.submit(
+                        _execute_spec_dict, specs[i].to_dict()
+                    )
+                except Exception:  # noqa: BLE001 - pool broke mid-submit
+                    if not futures:
+                        raise  # a fresh pool that cannot start at all
+                    rescue.append(i)  # the break settles via a wait below
             for i, future in futures.items():
-                if hung:
+                if degraded:
                     if future.done() and not future.cancelled():
-                        try:  # finished before the hang was detected
+                        try:  # finished before the failure was detected
                             result = future.result(timeout=0)
+                        except BrokenProcessPool:
+                            rescue.append(i)
+                            continue
                         except Exception:  # noqa: BLE001
                             result = {"error": traceback.format_exc()}
                     else:
@@ -395,7 +428,7 @@ class SweepEngine:
                     try:
                         result = future.result(timeout=self.point_timeout)
                     except FuturesTimeout:
-                        hung = True
+                        hung = degraded = True
                         result = {
                             "error": (
                                 f"point exceeded the {self.point_timeout}s "
@@ -404,6 +437,17 @@ class SweepEngine:
                                 "cached"
                             ),
                             "timed_out": True,
+                        }
+                    except BrokenProcessPool:
+                        degraded = True
+                        result = {
+                            "error": (
+                                "worker process died abruptly while this "
+                                "point was in flight (hard exit, segfault, "
+                                "or OOM kill); queued points rescued into "
+                                "a fresh pool, point not cached"
+                            ),
+                            "worker_died": True,
                         }
                     except Exception:  # noqa: BLE001 - pool/pickling failures
                         result = {"error": traceback.format_exc()}
@@ -414,5 +458,5 @@ class SweepEngine:
                 # interpreter exit) indefinitely.
                 for proc in list(getattr(pool, "_processes", {}).values()):
                     proc.terminate()
-            pool.shutdown(wait=not hung, cancel_futures=hung)
+            pool.shutdown(wait=not degraded, cancel_futures=degraded)
         return rescue

@@ -1,0 +1,39 @@
+"""Clean-exit signal handling for long campaigns.
+
+SIGINT already surfaces as :class:`KeyboardInterrupt`; SIGTERM -- what a
+CI cancel button, a batch scheduler, or ``kill`` sends -- normally just
+drops the process, losing everything since the last checkpoint *and*
+leaving orphaned worker processes behind.  :func:`interrupts_as_keyboard`
+maps SIGTERM onto the same ``KeyboardInterrupt`` unwind path, so the
+farm's interrupt handling (revert in-flight points, flush the manifest,
+kill workers, exit 130) covers both signals with one code path.
+
+A context manager rather than a global install: handlers are restored on
+exit, and installation is skipped off the main thread (Python only
+allows signal handlers there), so library callers embedding the farm in
+a worker thread are unaffected.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+
+
+@contextmanager
+def interrupts_as_keyboard():
+    """Within the block, SIGTERM raises ``KeyboardInterrupt`` (as SIGINT
+    already does); previous handlers are restored on exit."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

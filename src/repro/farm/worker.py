@@ -1,0 +1,46 @@
+"""Subprocess worker entry point: one spec in, one slim result out.
+
+``python -m repro.farm.worker`` reads an
+:class:`~repro.experiments.spec.ExperimentSpec` dict as JSON on stdin,
+executes it, and writes the slim result dict as JSON on stdout.  The
+protocol is deliberately the dumbest thing that works, because the whole
+point of the :class:`~repro.farm.executors.SubprocessExecutor` backend is
+that this interpreter may die at any instruction:
+
+* stdout is reserved for the result; while the simulation runs,
+  ``sys.stdout`` is pointed at stderr so a chatty workload cannot corrupt
+  the protocol stream.
+* Ordinary exceptions are already converted to ``{"error": traceback}``
+  by :func:`~repro.experiments.engine._execute_spec_dict`, so this
+  process exits 0 for them -- a nonzero exit status always means a *hard*
+  death (``os._exit``, signal, OOM kill), which is exactly how the parent
+  classifies it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main() -> int:
+    spec_dict = json.loads(sys.stdin.read())
+
+    # Import after stdin is consumed: a broken pipe should surface as a
+    # JSON error on stdin handling, not as an import-time crash.
+    from ..experiments.engine import _execute_spec_dict
+
+    real_stdout = sys.stdout
+    sys.stdout = sys.stderr
+    try:
+        result = _execute_spec_dict(spec_dict)
+    finally:
+        sys.stdout = real_stdout
+    json.dump(result, real_stdout)
+    real_stdout.write("\n")
+    real_stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

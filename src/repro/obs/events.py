@@ -68,6 +68,12 @@ class EventKind:
     # ``info`` the page name / output path)
     REPORT_PAGE = "report_page"
     REPORT_DONE = "report_done"
+    # sweep farm lifecycle (``cycle`` carries the point's campaign index,
+    # ``info`` a human-readable diagnosis: label, attempt, backoff delay)
+    FARM_DISPATCH = "farm_dispatch"  # point handed to an executor backend
+    FARM_RETRY = "farm_retry"        # worker-killing attempt; backoff armed
+    FARM_POISON = "farm_poison"      # retry budget exhausted; quarantined
+    FARM_RESUME = "farm_resume"      # point settled from a resumed manifest
 
     ALL = (
         INJECT, EJECT, ACCEPT, ABANDON,
@@ -77,6 +83,7 @@ class EventKind:
         ROUTER_BLOCK, FAULT_FIRE, FAULT_REPAIR,
         SWEEP_POINT, SWEEP_CACHE_HIT, SWEEP_ERROR,
         REPORT_PAGE, REPORT_DONE,
+        FARM_DISPATCH, FARM_RETRY, FARM_POISON, FARM_RESUME,
     )
 
 

@@ -12,16 +12,17 @@ from .generate import ReportResult, generate_report
 from .history import (append_snapshot, git_sha, load_history,
                       snapshot_from_summary, trajectory_figures)
 from .schema import (RUN_STATS_FIELDS, SCHEMA_VERSION, BenchRecord,
-                     BenchSummary, ChaosArtifact, EngineStats,
-                     HistorySnapshot, KernelPerfRecord, KernelRun, RunStats,
-                     SchemaError, SweepPointRecord, SweepRecord, load_record,
-                     load_results_tree, write_record_atomic)
+                     BenchSummary, CampaignRecord, ChaosArtifact,
+                     EngineStats, HistorySnapshot, KernelPerfRecord,
+                     KernelRun, RunStats, SchemaError, SweepPointRecord,
+                     SweepRecord, load_record, load_results_tree,
+                     write_record_atomic)
 
 __all__ = [
     "SCHEMA_VERSION", "RUN_STATS_FIELDS", "SchemaError",
     "RunStats", "EngineStats", "BenchRecord", "BenchSummary",
     "KernelRun", "KernelPerfRecord", "SweepPointRecord", "SweepRecord",
-    "ChaosArtifact",
+    "CampaignRecord", "ChaosArtifact",
     "HistorySnapshot", "load_record", "load_results_tree",
     "write_record_atomic",
     "FIGURES", "FigureData", "FidelityCheck", "PaperRef", "Series",

@@ -162,6 +162,31 @@ def _run_health(summary: BenchSummary,
             f"speedup {summary.kernel.speedup:.2f}x.",
             "",
         ]
+    if summary.campaigns:
+        rows = [["campaign", "executor", "points", "done", "resumed",
+                 "retries", "worker deaths", "poisoned", "state"]]
+        for cid in sorted(summary.campaigns):
+            campaign = summary.campaigns[cid]
+            counts = campaign.state_counts()
+            stats = campaign.stats
+            rows.append([
+                cid, campaign.executor, str(len(campaign.points)),
+                str(counts.get("done", 0)),
+                str(stats.get("resumed", 0)),
+                str(stats.get("retries", 0)),
+                str(stats.get("worker_deaths", 0)),
+                str(counts.get("poisoned", 0)),
+                "complete" if campaign.complete else "interrupted",
+            ])
+        lines += [
+            f"**Farm campaigns on disk: {len(summary.campaigns)}** -- "
+            "resumable run manifests from `repro farm` / `repro chaos`; "
+            "an `interrupted` campaign finishes with "
+            "`repro farm --resume <manifest>`.",
+            "",
+        ]
+        lines += _md_table(rows)
+        lines.append("")
     if artifacts:
         by_class: Dict[str, int] = {}
         for artifact in artifacts:

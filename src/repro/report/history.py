@@ -64,6 +64,15 @@ def snapshot_from_summary(
     cycles = max(
         (b.bench_cycles for b in summary.benches.values()), default=0
     )
+    farm = {}
+    if summary.campaigns:
+        farm = {"campaigns": len(summary.campaigns)}
+        for key in ("points", "retries", "worker_deaths", "poisoned",
+                    "resumed"):
+            farm[key] = sum(
+                int(c.stats.get(key, 0) or 0)
+                for c in summary.campaigns.values()
+            )
     return HistorySnapshot(
         timestamp=timestamp or time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()),
         git_sha=sha if sha is not None else git_sha(),
@@ -77,6 +86,7 @@ def snapshot_from_summary(
         kernel_speedup=speedup,
         kernel_speedups=speedups,
         bench_cycles=cycles,
+        farm=farm,
     )
 
 

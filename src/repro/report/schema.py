@@ -18,6 +18,7 @@ here, in one place, stamped with ``"schema": SCHEMA_VERSION`` and a
 ``repro-chaos-reproducer`` a shrunk chaos artifact (:class:`ChaosArtifact`)
 ``repro-history-snapshot`` one bench run's perf snapshot
 ``repro-sweep``            a ``repro sweep --json`` result set
+``repro-campaign``         a farm run manifest (:class:`CampaignRecord`)
 =========================  ==============================================
 
 :func:`load_record` sniffs any archived document -- including every
@@ -114,6 +115,7 @@ class EngineStats:
     executed: int = 0
     errors: int = 0
     timeouts: int = 0
+    worker_deaths: int = 0
     hit_rate: float = 0.0
     wall_s: float = 0.0
 
@@ -344,12 +346,92 @@ class SweepRecord:
         )
 
 
+#: Every per-point state a campaign manifest may carry.  ``pending`` and
+#: ``running`` appear only in manifests of interrupted campaigns (a clean
+#: finish settles everything); the four terminal states are what the
+#: run-health rollup counts.
+CAMPAIGN_POINT_STATES = (
+    "pending", "running", "done", "errored", "timed_out", "poisoned",
+)
+
+#: Campaign point states that count as settled (no further attempts).
+CAMPAIGN_TERMINAL_STATES = ("done", "errored", "timed_out", "poisoned")
+
+
+@dataclass
+class CampaignRecord:
+    """A farm run manifest (kind ``repro-campaign``).
+
+    This is the on-disk checkpoint :class:`repro.farm.RunManifest` writes
+    under ``benchmarks/results/campaigns/`` after every settled point --
+    the document ``repro farm --resume`` reads back.  ``specs`` holds the
+    full ordered spec dicts (so a resume can verify it is continuing the
+    *same* campaign by content hash); ``points`` holds one state dict per
+    spec (state, attempts, worker deaths, inline slim result when done);
+    ``stats`` is the farm's ledger for the completed portion.
+    """
+
+    campaign_id: str = ""
+    created: str = ""
+    executor: str = "pool"
+    code_version: str = ""
+    policy: Dict = field(default_factory=dict)
+    specs: List[Dict] = field(default_factory=list)
+    points: List[Dict] = field(default_factory=list)
+    stats: Dict = field(default_factory=dict)
+
+    def state_counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in CAMPAIGN_POINT_STATES}
+        for point in self.points:
+            counts[point.get("state", "pending")] = (
+                counts.get(point.get("state", "pending"), 0) + 1
+            )
+        return counts
+
+    @property
+    def complete(self) -> bool:
+        """Every point reached a terminal state (done or diagnosed)."""
+        return all(
+            point.get("state") in CAMPAIGN_TERMINAL_STATES
+            for point in self.points
+        )
+
+    def to_dict(self) -> Dict:
+        return _stamp("repro-campaign", {
+            "campaign_id": self.campaign_id,
+            "created": self.created,
+            "executor": self.executor,
+            "code_version": self.code_version,
+            "policy": self.policy,
+            "specs": self.specs,
+            "points": self.points,
+            "stats": self.stats,
+        })
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "CampaignRecord":
+        return cls(
+            campaign_id=doc.get("campaign_id", ""),
+            created=doc.get("created", ""),
+            executor=doc.get("executor", "pool"),
+            code_version=doc.get("code_version", ""),
+            policy=dict(doc.get("policy") or {}),
+            specs=list(doc.get("specs") or ()),
+            points=list(doc.get("points") or ()),
+            stats=dict(doc.get("stats") or {}),
+        )
+
+
 @dataclass
 class BenchSummary:
     """The merged ``BENCH_summary.json`` (kind ``repro-bench-summary``)."""
 
     benches: Dict[str, BenchRecord] = field(default_factory=dict)
     kernel: Optional[KernelPerfRecord] = None
+    #: Farm campaigns found under ``results/campaigns/`` when the bench
+    #: session closed: campaign id -> :class:`CampaignRecord` (pre-farm
+    #: summaries simply carry none).
+    campaigns: Dict[str, CampaignRecord] = field(default_factory=dict)
 
     @property
     def bench_count(self) -> int:
@@ -363,6 +445,10 @@ class BenchSummary:
                 for name in sorted(self.benches)
             },
             "kernel": None if self.kernel is None else self.kernel.to_dict(),
+            "campaigns": {
+                cid: self.campaigns[cid].to_dict()
+                for cid in sorted(self.campaigns)
+            },
         })
 
     @classmethod
@@ -381,6 +467,10 @@ class BenchSummary:
         return cls(
             benches=benches,
             kernel=None if kernel is None else KernelPerfRecord.from_dict(kernel),
+            campaigns={
+                cid: CampaignRecord.from_dict(campaign)
+                for cid, campaign in (doc.get("campaigns") or {}).items()
+            },
         )
 
 
@@ -409,6 +499,10 @@ class HistorySnapshot:
     #: bucket-vs-heap scalar above).
     kernel_speedups: Dict[str, float] = field(default_factory=dict)
     bench_cycles: int = 0
+    #: Farm campaign totals at snapshot time (``campaigns``, ``points``,
+    #: ``retries``, ``worker_deaths``, ``poisoned``, ``resumed``); empty
+    #: for pre-farm snapshots and farm-less sessions.
+    farm: Dict[str, int] = field(default_factory=dict)
 
     @property
     def wall_total(self) -> float:
@@ -433,6 +527,7 @@ _KINDS = {
     "repro-sweep": SweepRecord,
     "repro-chaos-reproducer": ChaosArtifact,
     "repro-history-snapshot": HistorySnapshot,
+    "repro-campaign": CampaignRecord,
 }
 
 
@@ -446,6 +541,8 @@ def sniff_kind(doc: Dict) -> str:
         return "repro-bench-summary"
     if "bench" in doc and "data" in doc:
         return "repro-bench"
+    if "campaign_id" in doc and "points" in doc:
+        return "repro-campaign"
     if "spec" in doc and "result" in doc:
         return "repro-sweep-point"
     if "kernels" in doc and "workload" in doc:
@@ -525,4 +622,17 @@ def load_results_tree(results_dir: Union[str, os.PathLike]) -> BenchSummary:
         summary.kernel = KernelPerfRecord.from_dict(
             kernel_bench.data["kernel_perf"]
         )
+    # Farm campaign manifests: the farm's own directory plus the chaos
+    # engine's (interrupted batches park their ledger under chaos/).
+    for sub in ("campaigns", "chaos/campaigns"):
+        campaign_dir = results_dir / sub
+        if not campaign_dir.is_dir():
+            continue
+        for path in sorted(campaign_dir.glob("*.json")):
+            try:
+                record = load_record(path)
+            except (SchemaError, ValueError, OSError):
+                continue
+            if isinstance(record, CampaignRecord):
+                summary.campaigns[record.campaign_id] = record
     return summary

@@ -1,5 +1,6 @@
 """The paper's traffic loads: synthetic heavy/light, C-shift, EM3D, radix sort."""
 
+from .crashpoint import CrashPointConfig, CrashPointDriver
 from .cshift import CShiftConfig, CShiftDriver
 from .em3d import Em3dConfig, Em3dDriver
 from .hotspot import HotSpotConfig, HotSpotDriver
@@ -13,6 +14,8 @@ from .synthetic import SyntheticConfig, SyntheticDriver
 __all__ = [
     "CShiftConfig",
     "CShiftDriver",
+    "CrashPointConfig",
+    "CrashPointDriver",
     "Em3dConfig",
     "Em3dDriver",
     "HotSpotConfig",

@@ -21,6 +21,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
+from .crashpoint import CrashPointConfig, CrashPointDriver
 from .cshift import CShiftConfig, CShiftDriver
 from .em3d import Em3dConfig, Em3dDriver
 from .hotspot import HotSpotConfig, HotSpotDriver
@@ -182,4 +183,8 @@ register_traffic(
 register_traffic(
     "rpc", RpcFanoutConfig,
     lambda node, n, cfg, rngf, exploit: RpcDriver(node, n, cfg, rngf, exploit),
+)
+register_traffic(
+    "crashpoint", CrashPointConfig,
+    lambda node, n, cfg, rngf, exploit: CrashPointDriver(node, n, cfg, rngf, exploit),
 )

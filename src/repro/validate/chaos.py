@@ -9,9 +9,13 @@ searches for them mechanically.  Each *trial* is a seeded-random
 fail/repair windows over *real* link names enumerated from the topology,
 node pauses) against a random workload and random NIFDY parameters -- run
 with the :class:`~repro.validate.InvariantMonitor` attached, fanned out
-through the :class:`~repro.experiments.SweepEngine` (cache off: validated
+through the :class:`~repro.farm.FarmEngine` (cache off: validated
 results must not alias unvalidated cache entries; ``point_timeout`` turns
-a wedged trial into a reported failure).
+a wedged trial into a reported failure).  The farm buys the gauntlet
+fault tolerance of its own: a trial that kills its worker outright is
+retried and, failing that, quarantined instead of taking the batch down,
+and an interrupted batch resumes from its manifest (written under
+``<artifact_dir>/campaigns/``) rather than starting over.
 
 When a trial fails -- an invariant violation, a stall, a crash, an
 incomplete run -- the engine **shrinks** it: delta-debugging (ddmin) over
@@ -53,7 +57,7 @@ from ..traffic import (
     SyntheticConfig,
     TrafficSpec,
 )
-from ..experiments import ExperimentSpec, SweepEngine, run_experiment
+from ..experiments import ExperimentSpec, run_experiment
 
 ARTIFACT_KIND = "repro-chaos-reproducer"
 ARTIFACT_VERSION = 1
@@ -84,8 +88,13 @@ class ChaosConfig:
     watchdog_cycles: int = 100_000
     max_retries: int = 25
     jobs: int = 1
-    #: Per-trial wall-clock bound (seconds), passed to the SweepEngine.
+    #: Per-trial wall-clock bound (seconds): the farm's liveness watchdog.
     point_timeout: Optional[float] = None
+    #: Farm execution backend for the trial fan-out (see
+    #: :func:`repro.farm.executor_names`).
+    executor: str = "pool"
+    #: Extra attempts per trial when the trial kills its worker.
+    retries: int = 1
     #: Max simulation probes the shrinker may spend per failure.
     shrink_budget: int = 48
     artifact_dir: str = "benchmarks/results/chaos"
@@ -396,14 +405,47 @@ class ChaosEngine:
     def run(self, progress: Optional[Callable] = None) -> ChaosReport:
         """Run the batch; shrink and archive every failure found.
 
-        ``progress`` is forwarded to the underlying SweepEngine:
+        ``progress`` is forwarded to the underlying farm:
         ``(done, total, point) -> None`` after each trial resolves.
+
+        The batch runs on a :class:`~repro.farm.FarmEngine` with a
+        manifest under ``<artifact_dir>/campaigns/``: kill the batch at
+        any point and re-running the same config resumes it.  A manifest
+        from a *finished* batch is discarded (each chaos invocation is a
+        fresh campaign); only interrupted batches resume.
         """
+        # Deferred: repro.farm imports the experiments stack.
+        from ..farm import (
+            FarmEngine,
+            FarmPolicy,
+            ManifestMismatch,
+            RunManifest,
+            campaign_id_for,
+        )
+
         cfg = self.config
         specs = [self.trial_spec(t) for t in range(cfg.trials)]
-        engine = SweepEngine(
-            jobs=cfg.jobs, cache=False, point_timeout=cfg.point_timeout,
-            progress=progress,
+        policy = FarmPolicy(retries=cfg.retries, seed=cfg.seed)
+        campaign = campaign_id_for(specs, cfg.executor)
+        manifest_path = Path(cfg.artifact_dir) / "campaigns" / f"{campaign}.json"
+        manifest = None
+        if manifest_path.is_file():
+            try:
+                manifest = RunManifest.load(manifest_path)
+                manifest.verify_resumable(specs)
+                if manifest.complete:
+                    manifest = None  # finished batch: start fresh
+            except (ManifestMismatch, ValueError, OSError):
+                manifest = None  # stale code or foreign file: start fresh
+        if manifest is None:
+            manifest = RunManifest.new(
+                campaign, specs, cfg.executor, policy.as_dict(),
+                path=manifest_path,
+            )
+        engine = FarmEngine(
+            executor=cfg.executor, jobs=cfg.jobs, cache=False,
+            policy=policy, point_timeout=cfg.point_timeout,
+            progress=progress, manifest=manifest,
         )
         points = engine.run(specs)
         report = ChaosReport(trials=cfg.trials)

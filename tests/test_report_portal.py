@@ -11,6 +11,7 @@ from repro.report import (
     FIGURES,
     BenchRecord,
     BenchSummary,
+    CampaignRecord,
     ChaosArtifact,
     EngineStats,
     HistorySnapshot,
@@ -85,6 +86,16 @@ def results_tree(tmp_path):
         ChaosArtifact(failure="invariant:exactly_once", detail="dup uid 9",
                       trial=4, original_events=3, shrunk_events=1,
                       shrink_probes=17),
+    )
+    write_record_atomic(
+        tmp_path / "campaigns" / "deadbeef0123.json",
+        CampaignRecord(
+            campaign_id="deadbeef0123", executor="subprocess",
+            policy={"retries": 2},
+            points=[{"state": "done"}, {"state": "poisoned"}],
+            stats={"points": 2, "executed": 1, "resumed": 1,
+                   "retries": 3, "worker_deaths": 4, "poisoned": 1},
+        ),
     )
     for i in range(3):
         append_snapshot(tmp_path, _snapshot(i))
@@ -199,6 +210,29 @@ class TestHistory:
         assert snap.kernel_events_per_sec == {"heap": 10.0, "bucket": 15.0}
         assert snap.kernel_speedup == 1.5  # computed by the v0 migration
 
+    def test_snapshot_rolls_up_farm_campaigns(self):
+        summary = BenchSummary(campaigns={
+            "c1": CampaignRecord(
+                campaign_id="c1", executor="pool",
+                points=[{"state": "done"}],
+                stats={"points": 1, "retries": 2, "worker_deaths": 1,
+                       "poisoned": 0, "resumed": 1},
+            ),
+            "c2": CampaignRecord(
+                campaign_id="c2", executor="subprocess",
+                points=[{"state": "poisoned"}],
+                stats={"points": 1, "retries": 1, "worker_deaths": 3,
+                       "poisoned": 1, "resumed": 0},
+            ),
+        })
+        snap = snapshot_from_summary(summary, timestamp="20260808T000000Z",
+                                     sha="abc")
+        assert snap.farm == {"campaigns": 2, "points": 2, "retries": 3,
+                             "worker_deaths": 4, "poisoned": 1, "resumed": 1}
+        # and without campaigns the field stays empty (v0 snapshots load)
+        assert snapshot_from_summary(BenchSummary(), sha="abc",
+                                     timestamp="20260808T000001Z").farm == {}
+
     def test_trajectory_needs_two_points(self):
         assert trajectory_figures([_snapshot(0)]) == []
 
@@ -232,8 +266,9 @@ class TestGenerateReport:
         index = (out / "REPORT.md").read_text()
         assert "Fidelity dashboard" in index
         assert "trajectory_kernel" in index
-        # run health surfaces engine stats and the chaos rollup
+        # run health surfaces engine stats, farm campaigns, the chaos rollup
         assert "cache hits" in index
+        assert "deadbeef0123" in index  # the farm campaigns table
         assert "invariant: 1" in index
         assert "1.60x" in index  # kernel speedup
 

@@ -13,10 +13,13 @@ import json
 import pytest
 
 from repro.report.schema import (
+    CAMPAIGN_POINT_STATES,
+    CAMPAIGN_TERMINAL_STATES,
     RUN_STATS_FIELDS,
     SCHEMA_VERSION,
     BenchRecord,
     BenchSummary,
+    CampaignRecord,
     ChaosArtifact,
     EngineStats,
     HistorySnapshot,
@@ -98,6 +101,44 @@ class TestRoundTrip:
         )
         assert load_record(record.to_dict()) == record
         assert record.failure_class == "invariant"
+
+    def test_campaign_record(self):
+        record = CampaignRecord(
+            campaign_id="abc123def456", created="2026-08-08T12:00:00Z",
+            executor="subprocess", code_version="deadbeef",
+            policy={"retries": 2, "seed": 0},
+            specs=[{"network": "mesh2d", "seed": 1}],
+            points=[{"index": 0, "spec_hash": "aa", "label": "gap=800",
+                     "state": "done", "attempts": 2, "worker_deaths": 1,
+                     "error": None, "result": {"delivered": 10}}],
+            stats={"points": 1, "executed": 1, "retries": 1},
+        )
+        doc = record.to_dict()
+        assert doc["kind"] == "repro-campaign"
+        assert sniff_kind(doc) == "repro-campaign"
+        assert load_record(doc) == record
+        assert record.complete
+        assert record.state_counts()["done"] == 1
+
+    def test_campaign_state_vocabulary(self):
+        # Terminal states are a subset of the ledger vocabulary; "running"
+        # and "pending" must never count as settled.
+        assert set(CAMPAIGN_TERMINAL_STATES) < set(CAMPAIGN_POINT_STATES)
+        assert "pending" not in CAMPAIGN_TERMINAL_STATES
+        assert "running" not in CAMPAIGN_TERMINAL_STATES
+        incomplete = CampaignRecord(
+            campaign_id="c", points=[{"state": "pending"}],
+        )
+        assert not incomplete.complete
+        assert incomplete.state_counts()["pending"] == 1
+
+    def test_bench_summary_carries_campaigns(self):
+        summary = BenchSummary(
+            campaigns={"c1": CampaignRecord(campaign_id="c1",
+                                            executor="pool")},
+        )
+        loaded = load_record(summary.to_dict())
+        assert loaded.campaigns["c1"].executor == "pool"
 
     def test_bench_summary(self):
         summary = BenchSummary(

@@ -21,6 +21,7 @@ from repro.experiments import ExperimentSpec, run_experiment
 from repro.obs import Observability, metrics_json
 from repro.sim import scheduler_names
 from repro.traffic import (
+    CrashPointConfig,
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
@@ -60,6 +61,12 @@ WORKLOADS = {
     ),
     "rpc": dict(
         traffic=TrafficSpec("rpc", RpcFanoutConfig(rounds=2, fanout=4, reply_packets=2)),
+    ),
+    # Disarmed (after_packets == packets): runs as a clean pair stream.
+    "crashpoint": dict(
+        traffic=TrafficSpec(
+            "crashpoint", CrashPointConfig(packets=30, after_packets=30)
+        ),
     ),
 }
 

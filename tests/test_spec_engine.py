@@ -302,6 +302,61 @@ class TestPointTimeout:
         )
 
 
+class TestWorkerDeathContainment:
+    """A hard worker death (os._exit: no Python unwind, breaks the shared
+    ProcessPoolExecutor) must cost exactly the points it killed."""
+
+    def crash(self, **overrides):
+        from repro.traffic import CrashPointConfig, TrafficSpec
+
+        cfg = CrashPointConfig(packets=8, after_packets=4, mode="exit")
+        return small_spec(traffic=TrafficSpec("crashpoint", cfg),
+                          label="crasher", **overrides)
+
+    def test_death_settles_point_and_rescues_the_rest(self, tmp_path):
+        # point_timeout forces the worker-pool path even at jobs=1; a
+        # crasher run truly in-process would take the test down with it.
+        specs = [self.crash(), small_spec(label="a"),
+                 small_spec(seed=7, label="b")]
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path, point_timeout=120.0)
+        points = engine.run(specs)
+        assert [p.label for p in points] == ["crasher", "a", "b"]
+        assert points[0].worker_died and not points[0].ok
+        assert "died abruptly" in points[0].error
+        # The survivors re-ran in a fresh pool with their real results.
+        assert points[1].ok and points[1].delivered > 0
+        assert points[2].ok and points[2].delivered > 0
+        assert engine.stats.worker_deaths == 1
+        assert engine.stats.errors == 1
+
+    def test_death_verdict_is_never_cached(self, tmp_path):
+        engine = SweepEngine(jobs=1, cache_dir=tmp_path, point_timeout=120.0)
+        engine.run([self.crash()])
+        engine.run([self.crash()])
+        assert engine.stats.worker_deaths == 2
+        assert engine.stats.cache_hits == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_death_under_parallel_workers(self, tmp_path):
+        # With jobs=2 the victim may be collateral (the break poisons the
+        # whole pool); what must hold: every point settles, every clean
+        # survivor keeps its true result, >= 1 death is recorded.
+        specs = [self.crash(), small_spec(label="a"),
+                 small_spec(seed=7, label="b")]
+        engine = SweepEngine(jobs=2, cache=False)
+        points = engine.run(specs)
+        assert len(points) == len(specs)
+        assert engine.stats.worker_deaths >= 1
+        serial = SweepEngine(jobs=1, cache=False).run(
+            [small_spec(label="a"), small_spec(seed=7, label="b")]
+        )
+        by_label = {p.label: p for p in points}
+        for truth in serial:
+            survivor = by_label[truth.label]
+            if survivor.ok:
+                assert survivor.delivered == truth.delivered
+
+
 class TestSweepHelpers:
     def test_sweep_cycles_are_actual_not_requested(self):
         """A completion-bounded point records the simulated cycle count."""

@@ -8,6 +8,7 @@ from repro.nic import NifdyNIC, NifdyParams, ReorderParams, ReorderTolerantNIC
 from repro.obs import EventBus, EventKind, Observability
 from repro.sim import Simulator
 from repro.traffic import (
+    CrashPointConfig,
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
@@ -34,6 +35,8 @@ _SMALL_CONFIGS = {
     "pairstream": PairStreamConfig(packets=40, bulk=True),
     "incast": IncastConfig(rounds=2, packets_per_round=4),
     "rpc": RpcFanoutConfig(rounds=2, fanout=4, reply_packets=2),
+    # Disarmed (after_packets == packets): a clean pair stream.
+    "crashpoint": CrashPointConfig(packets=40, after_packets=40),
 }
 
 
