@@ -56,6 +56,7 @@ from .metrics import degradation_report, format_degradation
 from .experiments import (
     ExperimentSpec,
     SweepEngine,
+    allreduce,
     best_params,
     offered_load_specs,
     cshift,
@@ -74,12 +75,13 @@ from .experiments import (
     sweep_offered_load,
 )
 from .networks import EXTENSION_NETWORK_NAMES, NETWORK_NAMES
-from .nic import NifdyParams
+from .nic import CollectiveParams, NifdyParams
 from .obs import Observability, chrome_trace, metrics_json, write_json
 from .sim import scheduler_names
 
 TRAFFIC_CHOICES = (
     "heavy", "light", "cshift", "em3d", "radix", "hotspot", "incast", "rpc",
+    "allreduce",
 )
 NIC_CHOICES = (
     "plain", "buffered", "nifdy", "nifdy-",
@@ -106,6 +108,8 @@ def _traffic_factory(name: str):
         return incast()
     if name == "rpc":
         return rpc_fanout()
+    if name == "allreduce":
+        return allreduce()
     raise ValueError(f"unknown traffic {name!r}")
 
 
@@ -155,12 +159,18 @@ def _cmd_run(args) -> int:
             trace=bool(args.trace_chrome),
             profile=args.profile,
         )
+    collective_params = None
+    if args.barrier == "nic":
+        collective_params = CollectiveParams(
+            barrier="nic", fanout=args.coll_fanout,
+        )
     result = run_experiment(ExperimentSpec(
         network=args.network,
         traffic=_traffic_factory(args.traffic),
         num_nodes=args.nodes,
         nic_mode=args.nic,
         nifdy_params=params,
+        collective_params=collective_params,
         run_cycles=args.cycles if fixed_horizon else None,
         max_cycles=args.max_cycles,
         seed=args.seed,
@@ -198,6 +208,16 @@ def _print_run_human(args, plan, result, observe) -> None:
           f"p90 {hist.p90}  p99 {hist.p99}  max {hist.maximum} cycles "
           "(injection -> accept)")
     print(f"order violations : {result.order_violations}")
+    engines = [nic.collective for nic in result.nics
+               if getattr(nic, "collective", None) is not None]
+    if engines:
+        blat = result.metrics.barrier_latency
+        print(f"collectives      : "
+              f"{sum(e.coll_completed for e in engines)} completed on the "
+              f"NIC tree, {sum(e.coll_retransmits for e in engines)} "
+              f"retransmit(s), {sum(e.coll_duplicates for e in engines)} "
+              f"duplicate(s); barrier latency mean {blat.mean:.0f} "
+              f"p99 {blat.p99} cycles")
     depth = result.metrics.reorder_depth
     if depth.count:
         print(f"reorder depth    : p50 {depth.p50}  p99 {depth.p99}  "
@@ -419,6 +439,7 @@ def _cmd_chaos(args) -> int:
         num_nodes=args.nodes,
         traffics=tuple(t for t in args.traffics.split(",") if t),
         nic_modes=tuple(m for m in args.nic_modes.split(",") if m),
+        barrier_modes=tuple(b for b in args.barrier_modes.split(",") if b),
         path_skews=tuple(_int_list(args.path_skews)) or (0,),
         max_faults=args.max_faults,
         executor=args.executor,
@@ -773,6 +794,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="print the result as a schema-stamped repro-run "
                      "JSON document on stdout (human stats move to stderr)")
+    run.add_argument("--barrier", default="host", choices=("host", "nic"),
+                     help="where barriers/reductions run: 'host' is the "
+                     "zero-network flat combine, 'nic' offloads them onto "
+                     "the NIC combining tree (collective packets on the "
+                     "request/reply nets)")
+    run.add_argument("--coll-fanout", type=int, default=4, metavar="K",
+                     help="arity of the NIC combining tree (--barrier nic)")
     run.add_argument("--opt", type=int, default=None, help="NIFDY O")
     run.add_argument("--pool", type=int, default=None, help="NIFDY B")
     run.add_argument("--dialogs", type=int, default=None, help="NIFDY D")
@@ -839,7 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=NETWORK_NAMES + EXTENSION_NETWORK_NAMES)
     chaos.add_argument("--nodes", type=int, default=16)
     chaos.add_argument("--traffics",
-                       default="cshift,radix,hotspot,pairstream",
+                       default="cshift,radix,hotspot,pairstream,allreduce",
                        metavar="NAME,NAME,...",
                        help="registry traffic names to draw workloads from")
     chaos.add_argument("--nic-modes", default="nifdy",
@@ -847,6 +875,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="NIC modes to draw trials from (e.g. "
                        "'nifdy,reorder-bitmap' to mix the reorder-tolerant "
                        "receivers into the gauntlet)")
+    chaos.add_argument("--barrier-modes", default="host,nic",
+                       metavar="MODE,MODE,...",
+                       help="barrier placements to draw trials from; 'nic' "
+                       "lets faults strike mid-collective on the combining "
+                       "tree")
     chaos.add_argument("--path-skews", default="0", metavar="C,C,...",
                        help="per-hop route-jitter values (cycles) to draw "
                        "from; non-zero needs a -spray network")

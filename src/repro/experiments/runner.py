@@ -41,6 +41,9 @@ from ..obs import EventBus, Observability, StateSampler
 from ..nic import (
     REORDER_NIC_MODES,
     BufferedNIC,
+    CollectiveEngine,
+    CollectiveTree,
+    HostCollective,
     NifdyNIC,
     NifdyParams,
     PlainNIC,
@@ -325,6 +328,21 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
     if not 0 < active <= num_nodes:
         raise ValueError("active_nodes must be in 1..num_nodes")
     barrier = Barrier(sim, active, release_cost=timing.barrier_cost)
+    coll_params = spec.collective_params
+    if coll_params is not None and coll_params.barrier == "nic":
+        # Offloaded: each active NIC gets a combining-tree engine; barriers
+        # and reductions become protocol traffic instead of a host combine.
+        tree = CollectiveTree(range(active), coll_params.fanout)
+        for node in range(active):
+            nics[node].collective = CollectiveEngine(
+                sim, nics[node], tree, coll_params, lossy=lossy,
+            )
+    # The host-side reduction combine (used by AllReduce when not offloaded;
+    # WaitBarrier keeps using the plain Barrier for bit-stable history).
+    host_coll = HostCollective(
+        sim, active, release_cost=timing.barrier_cost,
+        op=coll_params.op if coll_params is not None else "sum",
+    )
     drivers = [
         traffic(node, active, rngf, exploit) if node < active else IdleDriver()
         for node in range(num_nodes)
@@ -339,6 +357,7 @@ def _run_spec(spec: ExperimentSpec) -> ExperimentResult:
             barrier=barrier,
             network_in_order=net.delivers_in_order,
             exploit_inorder=exploit,
+            host_collective=host_coll if node < active else None,
         )
         for node in range(num_nodes)
     ]

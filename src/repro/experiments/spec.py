@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..faults import FaultPlan
-from ..nic import NifdyParams, ReorderParams
+from ..nic import CollectiveParams, NifdyParams, ReorderParams
 from ..node import CM5_TIMING, Timing
 from ..obs import Observability
 from ..sim import scheduler_names
@@ -60,6 +60,10 @@ class ExperimentSpec:
     #: Parameters for the ``reorder-*`` NIC modes (bounded reorder window,
     #: Eunomia bitmap, Jain drop-vs-cache); ignored by the other modes.
     reorder_params: Optional[ReorderParams] = None
+    #: Collective subsystem: ``barrier="nic"`` offloads barriers/reductions
+    #: onto the NIC combining tree; ``None`` (or ``barrier="host"``) keeps
+    #: the host-side combine.
+    collective_params: Optional[CollectiveParams] = None
     run_cycles: Optional[int] = None
     max_cycles: int = 5_000_000
     seed: int = 0
@@ -146,6 +150,8 @@ class ExperimentSpec:
             else dataclasses.asdict(self.nifdy_params),
             "reorder_params": None if self.reorder_params is None
             else dataclasses.asdict(self.reorder_params),
+            "collective_params": None if self.collective_params is None
+            else dataclasses.asdict(self.collective_params),
             "run_cycles": self.run_cycles,
             "max_cycles": self.max_cycles,
             "seed": self.seed,
@@ -185,6 +191,10 @@ class ExperimentSpec:
             kwargs["nifdy_params"] = NifdyParams(**kwargs["nifdy_params"])
         if kwargs.get("reorder_params") is not None:
             kwargs["reorder_params"] = ReorderParams(**kwargs["reorder_params"])
+        if kwargs.get("collective_params") is not None:
+            kwargs["collective_params"] = CollectiveParams(
+                **kwargs["collective_params"]
+            )
         if kwargs.get("timing") is not None:
             kwargs["timing"] = Timing(**kwargs["timing"])
         if kwargs.get("fault_plan") is not None:

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..nic import NifdyParams, ReorderParams
+from ..nic import CollectiveParams, NifdyParams, ReorderParams
 from ..obs import Observability
-from ..traffic import IncastConfig, SyntheticConfig
+from ..traffic import AllReduceConfig, IncastConfig, SyntheticConfig
 from .engine import SweepEngine, SweepPoint
 from .spec import ExperimentSpec
-from .workloads import heavy_synthetic, incast, light_synthetic
+from .workloads import allreduce, heavy_synthetic, incast, light_synthetic
 
 
 def _engine_or_default(engine: Optional[SweepEngine]) -> SweepEngine:
@@ -252,6 +252,63 @@ def sweep_reorder_variants(
         network, nic_modes=nic_modes, loss_rates=loss_rates,
         path_skews=path_skews, traffic=traffic, num_nodes=num_nodes,
         seed=seed, reorder_params=reorder_params,
+    )
+    return _engine_or_default(engine).run(specs)
+
+
+# --------------------------------------------------------- NIC collectives
+def collective_barrier_specs(
+    network: str = "fattree",
+    *,
+    barrier_modes: Sequence[str] = ("host", "nic"),
+    fanouts: Sequence[int] = (4,),
+    traffic=None,
+    num_nodes: int = 16,
+    seed: int = 0,
+    max_cycles: int = 3_000_000,
+    validate: bool = True,
+) -> List[ExperimentSpec]:
+    """The host-vs-NIC barrier comparison grid as specs: barrier mode x
+    combining-tree fanout over the self-verifying allreduce workload, run
+    to completion under the invariant monitor."""
+    traffic = traffic or allreduce(AllReduceConfig())
+    specs = []
+    for mode in barrier_modes:
+        for fanout in fanouts:
+            specs.append(
+                ExperimentSpec(
+                    network=network,
+                    traffic=traffic,
+                    num_nodes=num_nodes,
+                    collective_params=CollectiveParams(
+                        barrier=mode, fanout=fanout,
+                    ),
+                    max_cycles=max_cycles,
+                    seed=seed,
+                    observe=Observability(validate=True, events=True)
+                    if validate else None,
+                    label=f"barrier={mode} k={fanout}",
+                )
+            )
+    return specs
+
+
+def sweep_collective_barrier(
+    network: str = "fattree",
+    *,
+    barrier_modes: Sequence[str] = ("host", "nic"),
+    fanouts: Sequence[int] = (4,),
+    traffic=None,
+    num_nodes: int = 16,
+    seed: int = 0,
+    engine: Optional[SweepEngine] = None,
+) -> List[SweepPoint]:
+    """Run the host-vs-NIC barrier grid; points come back in spec order
+    (mode-major), each carrying the barrier-latency histogram in its
+    metrics JSON."""
+    specs = collective_barrier_specs(
+        network, barrier_modes=barrier_modes, fanouts=fanouts,
+        traffic=traffic, num_nodes=num_nodes, seed=seed,
     )
     return _engine_or_default(engine).run(specs)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..traffic import (
+    AllReduceConfig,
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
@@ -62,6 +63,12 @@ def incast(config: Optional[IncastConfig] = None) -> TrafficSpec:
 def rpc_fanout(config: Optional[RpcFanoutConfig] = None) -> TrafficSpec:
     """Partition-aggregate RPC: scatter requests, gather the reply burst."""
     return TrafficSpec("rpc", config)
+
+
+def allreduce(config: Optional[AllReduceConfig] = None) -> TrafficSpec:
+    """Self-verifying allreduce rounds with background traffic (the
+    NIC-offloaded collective benchmark workload)."""
+    return TrafficSpec("allreduce", config)
 
 
 def perf_reference_spec(

@@ -37,6 +37,7 @@ class MetricsCollector:
         #: (src, dst) stream overtook this one in the network (0 on an
         #: in-order fabric).  Measured on first copies only -- a
         #: retransmission arriving late is recovery, not reordering.
+        self.barrier_latency = LatencyHistogram()   # arrive -> release
         self.reorder_depth = LatencyHistogram()
         self.reorder_depth_by_pair: Dict[Tuple[int, int], LatencyHistogram] = {}
         self._eject_head: Dict[Tuple[int, int], int] = {}
@@ -56,10 +57,15 @@ class MetricsCollector:
             nic.on_eject = self.note_eject
         for proc in processors:
             proc.on_send = self.note_send
+            proc.on_barrier = self.note_barrier
 
     # -------------------------------------------------------------- hooks
     def note_send(self, packet: Packet) -> None:
         self.sent += 1
+
+    def note_barrier(self, cycles: int) -> None:
+        """One processor's arrive-to-release barrier/collective latency."""
+        self.barrier_latency.note(cycles)
 
     def note_inject(self, packet: Packet) -> None:
         # Pending = in the network or the receiving NIC.  Packets waiting

@@ -1,6 +1,13 @@
 """Network interfaces: the NIFDY unit and the baseline NICs it is compared to."""
 
 from .base import BaseNIC
+from .collectives import (
+    COLLECTIVE_OPS,
+    CollectiveEngine,
+    CollectiveParams,
+    CollectiveTree,
+    HostCollective,
+)
 from .bulk import (
     BulkReceiverDialog,
     BulkSender,
@@ -28,6 +35,11 @@ __all__ = [
     "BufferedNIC",
     "BulkReceiverDialog",
     "BulkSender",
+    "COLLECTIVE_OPS",
+    "CollectiveEngine",
+    "CollectiveParams",
+    "CollectiveTree",
+    "HostCollective",
     "NifdyNIC",
     "NifdyParams",
     "OutgoingPool",

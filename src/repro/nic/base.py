@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..links import FlitFeeder, FlitSink, Link
 from ..obs.events import EventKind
-from ..packets import Packet
+from ..packets import Packet, PacketKind
 from ..sim import Simulator
 
 
@@ -76,6 +76,12 @@ class BaseNIC(FlitFeeder, FlitSink):
         #: Protocol event bus (:class:`repro.obs.EventBus`); ``None`` keeps
         #: every emission site a single pointer comparison.
         self.obs = None
+        #: NIC-offloaded collective engine
+        #: (:class:`repro.nic.collectives.CollectiveEngine`); ``None`` when
+        #: collectives run on the host.  Collective packets bypass the
+        #: subclass protocol machinery entirely -- they are combined in
+        #: dedicated registers, not buffered in the arrivals FIFO.
+        self.collective = None
 
     # ------------------------------------------------------------- wiring
     def attach_injection(self, link: Link) -> None:
@@ -180,7 +186,7 @@ class BaseNIC(FlitFeeder, FlitSink):
             del self._inj_streams[(id(link), vc)]
             self.packets_injected += 1
             # Let the subclass queue the next packet for this VC.
-            self.sim.post(0, self._on_injection_complete, stream.packet)
+            self.sim.post(0, self._dispatch_injection_complete, stream.packet)
         return stream.packet, is_head, is_tail
 
     def take_flits(self, link: Link, vc: int, max_flits: int):
@@ -219,6 +225,18 @@ class BaseNIC(FlitFeeder, FlitSink):
             return None
         return ("claim", stream.packet.flits - stream.flits_sent)
 
+    def _dispatch_injection_complete(self, packet: Packet) -> None:
+        """Route a finished injection to its owner.
+
+        Collective packets belong to the collective engine's private pump;
+        handing them to the subclass would confuse protocol state machines
+        that match completions against their own queues."""
+        if packet.kind is PacketKind.COLLECTIVE:
+            if self.collective is not None:
+                self.collective.on_injection_complete(packet)
+            return
+        self._on_injection_complete(packet)
+
     def _on_injection_complete(self, packet: Packet) -> None:
         """Called (next cycle) after a packet's tail left the NIC."""
 
@@ -251,6 +269,17 @@ class BaseNIC(FlitFeeder, FlitSink):
                     self.obs.emit_packet(
                         self.sim.now, EventKind.EJECT, self.node_id, packet
                     )
+            if packet.kind is PacketKind.COLLECTIVE:
+                # Combined in dedicated registers: credits return at once,
+                # the subclass arrivals machinery never sees the packet.
+                self._release_ejection(packet, vc, port)
+                if self.collective is None:
+                    raise RuntimeError(
+                        f"node {self.node_id}: collective packet {packet} "
+                        "arrived but no collective engine is attached"
+                    )
+                self.collective.on_packet(packet)
+                return
             self._on_packet_ejected(packet, vc, port)
 
     def accept_flits(

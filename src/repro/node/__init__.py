@@ -2,6 +2,7 @@
 
 from .processor import (
     Action,
+    AllReduce,
     Compute,
     Done,
     Ignore,
@@ -15,6 +16,7 @@ from .timing import CM5_TIMING, Timing
 
 __all__ = [
     "Action",
+    "AllReduce",
     "CM5_TIMING",
     "Compute",
     "Done",

@@ -57,11 +57,21 @@ class WaitBarrier:
 
 
 @dataclass
+class AllReduce:
+    """Contribute ``value`` to a global reduction and block until the
+    combined result releases (``driver.on_reduced(combined)`` fires first).
+    Runs on the host combine or the NIC combining tree, whichever the
+    experiment selected."""
+
+    value: int
+
+
+@dataclass
 class Done:
     """Driver has no more work; keep polling so peers can finish."""
 
 
-Action = Union[Send, Compute, Ignore, PollFor, WaitBarrier, Done]
+Action = Union[Send, Compute, Ignore, PollFor, WaitBarrier, AllReduce, Done]
 
 
 class Processor:
@@ -77,6 +87,7 @@ class Processor:
         barrier: Optional[Barrier] = None,
         network_in_order: bool = False,
         exploit_inorder: bool = False,
+        host_collective=None,
     ):
         self.sim = sim
         self._post = sim.post  # cached: _busy runs once per processor step
@@ -85,10 +96,13 @@ class Processor:
         self.driver = driver
         self.timing = timing
         self.barrier = barrier
+        self.host_collective = host_collective
         self.network_in_order = network_in_order
         self.exploit_inorder = exploit_inorder
         self._pending: Optional[Action] = None
         self._in_barrier = False
+        self._barrier_enter = -1
+        self._reduce_pending = False
         self._mid_receive = False
         self._poll_deadline: Optional[int] = None
         self._paused = False
@@ -98,6 +112,7 @@ class Processor:
         self.packets_received = 0
         self.busy_cycles = 0
         self.on_send = None  # hook(packet), set by the metrics collector
+        self.on_barrier = None  # hook(latency_cycles), ditto
         driver.bind(self)
 
     def start(self) -> None:
@@ -161,12 +176,34 @@ class Processor:
             self._deadline_poll()
         elif isinstance(action, WaitBarrier):
             self._pending = None
-            if self.barrier is None:
-                raise RuntimeError("driver used WaitBarrier without a barrier")
             # Keep polling while blocked at the barrier: a node that stops
             # receiving would deadlock the senders still finishing the phase.
             self._in_barrier = True
-            self.barrier.arrive(self.node_id, self._barrier_release)
+            self._barrier_enter = self.sim.now
+            if self.nic.collective is not None:
+                self.nic.collective.arrive(None, self._collective_release)
+            elif self.barrier is not None:
+                self.barrier.arrive(self.node_id, self._barrier_release)
+            else:
+                raise RuntimeError("driver used WaitBarrier without a barrier")
+            self._barrier_poll()
+        elif isinstance(action, AllReduce):
+            self._pending = None
+            self._in_barrier = True
+            self._barrier_enter = self.sim.now
+            self._reduce_pending = True
+            if self.nic.collective is not None:
+                self.nic.collective.arrive(
+                    action.value, self._collective_release
+                )
+            elif self.host_collective is not None:
+                self.host_collective.arrive(
+                    self.node_id, action.value, self._collective_release
+                )
+            else:
+                raise RuntimeError(
+                    "driver used AllReduce without a collective"
+                )
             self._barrier_poll()
         elif isinstance(action, Done):
             self.done = True
@@ -224,8 +261,18 @@ class Processor:
         else:
             self._busy(self.timing.t_poll, self._barrier_poll)
 
+    def _collective_release(self, value) -> None:
+        """Release upcall from the NIC engine or the host combine."""
+        if self._reduce_pending:
+            self._reduce_pending = False
+            self.driver.on_reduced(value)
+        self._barrier_release()
+
     def _barrier_release(self) -> None:
         self._in_barrier = False
+        if self.on_barrier is not None and self._barrier_enter >= 0:
+            self.on_barrier(self.sim.now - self._barrier_enter)
+        self._barrier_enter = -1
         if not self._mid_receive:
             self.sim.post(0, self._run_or_hold, self._step, ())
 
@@ -257,6 +304,10 @@ class TrafficDriver:
 
     def on_packet(self, packet: Packet) -> None:
         """Upcall for every data packet the processor accepted."""
+
+    def on_reduced(self, value) -> None:
+        """Upcall with the combined result of an :class:`AllReduce`, fired
+        just before the processor unblocks."""
 
     def on_abandoned(self, packet: Packet) -> None:
         """Upcall when this node's NIC gave up delivering ``packet`` (retry

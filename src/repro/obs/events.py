@@ -54,6 +54,12 @@ class EventKind:
     BACKOFF = "backoff"          # retry armed with an increased timeout
     DUPLICATE = "duplicate"      # receiver discarded an already-seen packet
     LINK_DROP = "link_drop"      # a link discarded a whole packet
+    # NIC-offloaded collectives (``node`` is the combining NIC, ``src`` the
+    # contributing node -- a child or the combiner itself -- and ``seq``
+    # carries the collective epoch)
+    COLL_CONTRIB = "coll_contrib"    # a contribution folded into the tree
+    COLL_RELEASE = "coll_release"    # a node released its subtree
+    COLL_DUP = "coll_dup"            # duplicate contribution discarded/healed
     # fabric
     ROUTER_BLOCK = "router_block"    # packet began waiting for an output VC
     # fault injector
@@ -80,6 +86,7 @@ class EventKind:
         POOL_ENQUEUE, POOL_DEQUEUE, OPT_HIT, OPT_FULL,
         ACK_CONSUMED, DIALOG_GRANT, DIALOG_DENY, DIALOG_CLOSE,
         RETRANSMIT, BACKOFF, DUPLICATE, LINK_DROP,
+        COLL_CONTRIB, COLL_RELEASE, COLL_DUP,
         ROUTER_BLOCK, FAULT_FIRE, FAULT_REPAIR,
         SWEEP_POINT, SWEEP_CACHE_HIT, SWEEP_ERROR,
         REPORT_PAGE, REPORT_DONE,

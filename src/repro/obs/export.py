@@ -152,9 +152,16 @@ def metrics_json(result, run_args: Optional[Dict] = None) -> Dict:
         "latency": {
             "network": _histogram_dict(metrics.network_latency),
             "total": _histogram_dict(metrics.total_latency),
+            "barrier": _histogram_dict(metrics.barrier_latency),
         },
         "nics": _nic_counters(result.nics),
     }
+    engines = [
+        nic.collective for nic in result.nics
+        if getattr(nic, "collective", None) is not None
+    ]
+    if engines:
+        doc["collectives"] = _collective_counters(engines)
     obs = getattr(result, "obs", None)
     if obs is not None:
         if obs.bus is not None:
@@ -183,4 +190,15 @@ def _nic_counters(nics: Sequence) -> Dict:
     )
     return {
         name: sum(getattr(nic, name, 0) for nic in nics) for name in names
+    }
+
+
+def _collective_counters(engines: Sequence) -> Dict:
+    """Aggregate the NIC-offloaded collective engines' protocol counters."""
+    names = (
+        "coll_contribs_sent", "coll_releases_sent", "coll_retransmits",
+        "coll_duplicates", "coll_completed",
+    )
+    return {
+        name: sum(getattr(eng, name, 0) for eng in engines) for name in names
     }

@@ -2,26 +2,32 @@
 
 from .packet import (
     ACK_WORDS,
+    COLLECTIVE_WORDS,
     FLIT_BYTES,
     REPLY_NET,
     REQUEST_NET,
     SPLITC_PACKET_WORDS,
     SYNTHETIC_PACKET_WORDS,
     AckInfo,
+    CollectiveInfo,
     Packet,
     PacketKind,
     make_ack,
+    make_collective,
 )
 
 __all__ = [
     "ACK_WORDS",
+    "COLLECTIVE_WORDS",
     "FLIT_BYTES",
     "REPLY_NET",
     "REQUEST_NET",
     "SPLITC_PACKET_WORDS",
     "SYNTHETIC_PACKET_WORDS",
     "AckInfo",
+    "CollectiveInfo",
     "Packet",
     "PacketKind",
     "make_ack",
+    "make_collective",
 ]

@@ -53,6 +53,7 @@ class PacketKind(Enum):
     SCALAR = "scalar"
     BULK = "bulk"
     ACK = "ack"
+    COLLECTIVE = "collective"
 
 
 _packet_ids = itertools.count()
@@ -84,6 +85,31 @@ class AckInfo:
     sack: Optional[tuple] = None
 
 
+#: Collective packets are header-only like acks: phase bit, epoch, op code
+#: and one combined machine word of contribution fit alongside the node ids.
+COLLECTIVE_WORDS = 2
+
+
+@dataclass
+class CollectiveInfo:
+    """Protocol content of a NIC-generated collective packet.
+
+    ``phase`` is ``"up"`` (a combined contribution climbing the k-ary tree
+    on the request network -- the ack IS the reduction op) or ``"down"``
+    (the root's release broadcasting down the tree on the reply network).
+    ``epoch`` numbers successive collectives so a fast child running one
+    barrier ahead cannot be confused with a duplicate.  ``value`` is the
+    combined partial (``None`` for a pure barrier), ``count`` the number of
+    leaf contributions folded into it.
+    """
+
+    phase: str = "up"
+    epoch: int = 0
+    op: str = "sum"
+    value: Optional[int] = None
+    count: int = 1
+
+
 @dataclass
 class Packet:
     """One network packet.
@@ -111,6 +137,7 @@ class Packet:
     is_retransmission: bool = False
     control_only: bool = False         # NIC-generated, never shown to processor
     ack: Optional[AckInfo] = None      # set when kind == ACK
+    coll: Optional[CollectiveInfo] = None  # set when kind == COLLECTIVE
     #: Section 6.1 extension: an ack riding in a data packet's header
     #: ("instead of sending both a NIFDY-generated ack and a user reply we
     #: could piggyback the ack in the reply").
@@ -134,6 +161,8 @@ class Packet:
             raise ValueError("packet must have a positive size")
         if self.kind is PacketKind.ACK and self.ack is None:
             raise ValueError("ack packets must carry AckInfo")
+        if self.kind is PacketKind.COLLECTIVE and self.coll is None:
+            raise ValueError("collective packets must carry CollectiveInfo")
 
     @property
     def flits(self) -> int:
@@ -162,6 +191,27 @@ class Packet:
             f"<Packet#{self.uid} {self.kind.value} {self.src}->{self.dst}"
             f" {self.flits}f{extra}>"
         )
+
+
+def make_collective(src: int, dst: int, info: CollectiveInfo) -> Packet:
+    """Build a NIC-generated collective packet.
+
+    Contributions climb the combining tree on the request network; releases
+    broadcast down on the reply network (the same data/ack split that keeps
+    NIFDY acks deadlock-free keeps collective releases deadlock-free).
+    Collective packets are control traffic: never shown to the processor's
+    receive path, never acked (the tree's own retransmit timers cover loss).
+    """
+    return Packet(
+        src=src,
+        dst=dst,
+        kind=PacketKind.COLLECTIVE,
+        size_bytes=COLLECTIVE_WORDS * FLIT_BYTES,
+        logical_net=REQUEST_NET if info.phase == "up" else REPLY_NET,
+        needs_ack=False,
+        control_only=True,
+        coll=info,
+    )
 
 
 def make_ack(src: int, dst: int, info: AckInfo) -> Packet:

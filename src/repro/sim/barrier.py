@@ -5,40 +5,87 @@ separate communication phases with global barriers.  A real MPP barrier has a
 cost; Strata's optimized barriers on the CM-5 cost a few microseconds.  We
 model the barrier as: the last processor to arrive releases everyone
 ``release_cost`` cycles later.
+
+Two correctness properties are enforced here rather than assumed:
+
+* **Membership** -- only the configured participants may arrive.  A stray
+  node id must not count toward the trip threshold (it would release the
+  real participants one arrival early).
+* **Generation tagging** -- each release is tied to the generation that
+  produced it.  A node whose release callback is still queued (the
+  ``release_cost`` window) has not logically left generation N and must not
+  be counted toward generation N+1.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, FrozenSet, Iterable, Union
 
 from .kernel import Simulator
 
 
 class Barrier:
-    """An N-party reusable barrier with a configurable release latency."""
+    """An N-party reusable barrier with a configurable release latency.
 
-    def __init__(self, sim: Simulator, parties: int, release_cost: int = 100):
-        if parties <= 0:
-            raise ValueError("barrier needs at least one party")
+    ``parties`` is either an ``int`` (members are node ids ``0..parties-1``)
+    or an explicit iterable of member ids.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        parties: Union[int, Iterable[int]],
+        release_cost: int = 100,
+    ):
+        if isinstance(parties, int):
+            if parties <= 0:
+                raise ValueError("barrier needs at least one party")
+            members: FrozenSet[int] = frozenset(range(parties))
+        else:
+            members = frozenset(parties)
+            if not members:
+                raise ValueError("barrier needs at least one party")
         self.sim = sim
-        self.parties = parties
+        self.members = members
+        self.parties = len(members)
         self.release_cost = release_cost
         self._waiting: Dict[int, Callable[[], None]] = {}
+        #: node -> generation whose release callback has not yet fired
+        self._pending_release: Dict[int, int] = {}
         self._generation = 0
         self.crossings = 0
 
     def arrive(self, node_id: int, resume: Callable[[], None]) -> None:
         """Node ``node_id`` blocks; ``resume`` is called once all arrive."""
+        if node_id not in self.members:
+            raise RuntimeError(
+                f"node {node_id} is not a member of this barrier "
+                f"({self.parties} parties)"
+            )
         if node_id in self._waiting:
             raise RuntimeError(f"node {node_id} arrived at barrier twice")
+        if node_id in self._pending_release:
+            raise RuntimeError(
+                f"node {node_id} re-arrived during the release window of "
+                f"generation {self._pending_release[node_id]}"
+            )
         self._waiting[node_id] = resume
         if len(self._waiting) == self.parties:
-            waiters = list(self._waiting.values())
+            waiters = list(self._waiting.items())
             self._waiting.clear()
+            generation = self._generation
             self._generation += 1
             self.crossings += 1
-            for fn in waiters:
-                self.sim.post(self.release_cost, fn)
+            for node, fn in waiters:
+                self._pending_release[node] = generation
+                self.sim.post(self.release_cost, self._fire, generation,
+                              node, fn)
+
+    def _fire(self, generation: int, node: int, fn: Callable[[], None]) -> None:
+        """Deliver one release; the node may re-arrive from inside ``fn``."""
+        if self._pending_release.get(node) == generation:
+            del self._pending_release[node]
+        fn()
 
     @property
     def waiting_count(self) -> int:

@@ -1,5 +1,6 @@
 """The paper's traffic loads: synthetic heavy/light, C-shift, EM3D, radix sort."""
 
+from .allreduce import AllReduceConfig, AllReduceDriver, expected_sum
 from .crashpoint import CrashPointConfig, CrashPointDriver
 from .cshift import CShiftConfig, CShiftDriver
 from .em3d import Em3dConfig, Em3dDriver
@@ -12,6 +13,8 @@ from .registry import TrafficSpec, register_traffic, traffic_entry, traffic_name
 from .synthetic import SyntheticConfig, SyntheticDriver
 
 __all__ = [
+    "AllReduceConfig",
+    "AllReduceDriver",
     "CShiftConfig",
     "CShiftDriver",
     "CrashPointConfig",
@@ -32,6 +35,7 @@ __all__ = [
     "SyntheticConfig",
     "SyntheticDriver",
     "TrafficSpec",
+    "expected_sum",
     "register_traffic",
     "traffic_entry",
     "traffic_names",

@@ -1,0 +1,119 @@
+"""Allreduce rounds: compute, scatter background traffic, reduce, repeat.
+
+The collective benchmark workload.  Every round each node computes, sends a
+small deterministic block of background packets (so the reduction contends
+with real traffic, the regime where the paper's heavy-traffic claims
+matter), then contributes a deterministic value to a global reduction and
+blocks until the combined result returns.  The driver *self-verifies*: with
+the ``sum`` operator the combined value each round is known in closed form,
+so a combining-tree bug (dropped or double-folded contribution) surfaces as
+a hard error in the workload itself, not just an invariant flag.
+
+Runs identically under ``barrier="host"`` (flat combine) and
+``barrier="nic"`` (combining tree) -- that switch lives in
+``ExperimentSpec.collective_params``, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..node import Action, AllReduce, Compute, Done, Send, TrafficDriver
+from ..packets import Packet, SPLITC_PACKET_WORDS
+from .messages import PacketFactory
+
+
+@dataclass
+class AllReduceConfig:
+    """``rounds`` reductions separated by compute and background sends."""
+
+    rounds: int = 8
+    compute_cycles: int = 300
+    #: Payload words of background traffic each node scatters per round
+    #: (0 disables; destinations rotate deterministically).
+    background_words: int = 48
+    packet_words: int = SPLITC_PACKET_WORDS
+    bulk_threshold: int = 4
+    #: Check the combined value against the closed form (sum operator).
+    verify: bool = True
+
+
+def expected_sum(round_no: int, num_nodes: int) -> int:
+    """The closed-form combined value for round ``round_no``: every node
+    ``i`` contributes ``round_no * num_nodes + i``."""
+    n = num_nodes
+    return round_no * n * n + n * (n - 1) // 2
+
+
+class AllReduceDriver(TrafficDriver):
+    """Per-node driver for the allreduce rounds."""
+
+    def __init__(
+        self,
+        node_id: int,
+        num_nodes: int,
+        config: AllReduceConfig,
+        exploit_inorder: bool = False,
+    ):
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.config = config
+        self.factory = PacketFactory(
+            node_id,
+            packet_words=config.packet_words,
+            bulk_threshold=config.bulk_threshold,
+            exploit_inorder=exploit_inorder,
+        )
+        self.round = 0
+        self._computed = False
+        self._queue: List[Packet] = []
+        self._queued_round = -1
+        self._reduced = False
+        self.reductions = 0
+        self.finished_cycle = None
+
+    def _contribution(self) -> int:
+        return self.round * self.num_nodes + self.node_id
+
+    def next_action(self) -> Action:
+        if self.round >= self.config.rounds:
+            if self.finished_cycle is None:
+                self.finished_cycle = self.proc.sim.now
+            return Done()
+        if not self._computed:
+            self._computed = True
+            return Compute(self.config.compute_cycles)
+        if self.config.background_words and self.num_nodes > 1:
+            if self._queued_round != self.round:
+                self._queued_round = self.round
+                dst = (self.node_id + 1 + self.round) % self.num_nodes
+                if dst == self.node_id:
+                    dst = (dst + 1) % self.num_nodes
+                self._queue = self.factory.message_for_words(
+                    dst, self.config.background_words
+                )
+            if self._queue:
+                return Send(self._queue.pop(0))
+        if not self._reduced:
+            self._reduced = True
+            return AllReduce(self._contribution())
+        # on_reduced fired: advance to the next round.
+        self.round += 1
+        self._computed = False
+        self._reduced = False
+        return self.next_action()
+
+    def on_reduced(self, value) -> None:
+        self.reductions += 1
+        if self.config.verify and value is not None:
+            want = expected_sum(self.round, self.num_nodes)
+            if value != want:
+                raise RuntimeError(
+                    f"node {self.node_id} round {self.round}: allreduce "
+                    f"returned {value}, expected {want} (a contribution was "
+                    "lost or double-folded)"
+                )
+
+    def on_packet(self, packet: Packet) -> None:
+        pass

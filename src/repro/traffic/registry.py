@@ -21,6 +21,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
+from .allreduce import AllReduceConfig, AllReduceDriver
 from .crashpoint import CrashPointConfig, CrashPointDriver
 from .cshift import CShiftConfig, CShiftDriver
 from .em3d import Em3dConfig, Em3dDriver
@@ -183,6 +184,10 @@ register_traffic(
 register_traffic(
     "rpc", RpcFanoutConfig,
     lambda node, n, cfg, rngf, exploit: RpcDriver(node, n, cfg, rngf, exploit),
+)
+register_traffic(
+    "allreduce", AllReduceConfig,
+    lambda node, n, cfg, rngf, exploit: AllReduceDriver(node, n, cfg, exploit),
 )
 register_traffic(
     "crashpoint", CrashPointConfig,

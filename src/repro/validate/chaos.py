@@ -43,10 +43,16 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..faults import FaultEvent, FaultPlan
 from ..networks import build_network
-from ..nic import REORDER_NIC_MODES, NifdyParams, ReorderParams
+from ..nic import (
+    REORDER_NIC_MODES,
+    CollectiveParams,
+    NifdyParams,
+    ReorderParams,
+)
 from ..obs import Observability
 from ..sim import Simulator
 from ..traffic import (
+    AllReduceConfig,
     CShiftConfig,
     Em3dConfig,
     HotSpotConfig,
@@ -72,7 +78,13 @@ class ChaosConfig:
     network: str = "fattree"
     num_nodes: int = 16
     #: Registry names to draw workloads from.
-    traffics: Tuple[str, ...] = ("cshift", "radix", "hotspot", "pairstream")
+    traffics: Tuple[str, ...] = (
+        "cshift", "radix", "hotspot", "pairstream", "allreduce",
+    )
+    #: Where trials run their barriers/reductions: ``"nic"`` attaches the
+    #: combining-tree engine so faults strike mid-collective (a link fail
+    #: during a collective must neither hang nor double-contribute).
+    barrier_modes: Tuple[str, ...] = ("host", "nic")
     #: NIC modes to draw from per trial (the scenario pack mixes the
     #: reorder-tolerant receivers in here on spraying fabrics).
     nic_modes: Tuple[str, ...] = ("nifdy",)
@@ -320,6 +332,11 @@ class ChaosEngine:
                 rounds=rng.choice((2, 3)),
                 reply_packets=rng.choice((2, 4)),
             )
+        elif name == "allreduce":
+            cfg = AllReduceConfig(
+                rounds=rng.choice((3, 6)),
+                background_words=rng.choice((24, 48)),
+            )
         elif name in ("heavy", "light"):
             cfg = SyntheticConfig(
                 heavy=name == "heavy",
@@ -384,6 +401,10 @@ class ChaosEngine:
             if nic_mode in REORDER_NIC_MODES else None
         )
         skew = rng.choice(cfg.path_skews)
+        collective_params = CollectiveParams(
+            barrier=rng.choice(cfg.barrier_modes),
+            fanout=rng.choice((2, 4, 8)),
+        )
         return ExperimentSpec(
             network=cfg.network,
             traffic=traffic,
@@ -391,6 +412,7 @@ class ChaosEngine:
             nic_mode=nic_mode,
             nifdy_params=params,
             reorder_params=reorder_params,
+            collective_params=collective_params,
             seed=cfg.seed * 7_919 + trial,
             max_cycles=cfg.max_cycles,
             watchdog_cycles=cfg.watchdog_cycles,

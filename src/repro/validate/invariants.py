@@ -34,6 +34,19 @@ Invariants checked
 
 Reorder-tolerant receivers (:class:`~repro.nic.ReorderTolerantNIC`) add:
 
+NIC-offloaded collectives (:class:`~repro.nic.CollectiveEngine`) add:
+
+``no_double_contribution``   a combining NIC never folds the same child's
+                             contribution into one epoch twice (duplicates
+                             must be discarded, not combined)
+``release_after_all_arrive`` a NIC releases an epoch only after every
+                             expected contribution (children + local) was
+                             folded in
+``collective_completion``    no epoch still holds combining state at the
+                             end of a completed run (end-of-run)
+
+Reorder-tolerant receivers (:class:`~repro.nic.ReorderTolerantNIC`) add:
+
 ``reorder_window_bound``  per-source reorder buffers stay inside
                           ``[expect, expect + rx_window)`` and never exceed
                           ``rx_window`` packets
@@ -63,6 +76,9 @@ INVARIANTS = (
     "window_bound",
     "ack_conservation",
     "no_silent_loss",
+    "no_double_contribution",
+    "release_after_all_arrive",
+    "collective_completion",
     "reorder_window_bound",
     "bitmap_conservation",
     "no_cache_leak",
@@ -149,6 +165,8 @@ class InvariantMonitor:
         self._abandoned: Set[int] = set()
         self._injected: Dict[int, Tuple[int, int, int]] = {}  # uid -> (cyc, src, dst)
         self._last_seq: Dict[Tuple[int, int], int] = {}
+        # (combiner node, epoch) -> contributor srcs folded in so far
+        self._coll_contribs: Dict[Tuple[int, int], Set[int]] = {}
         self._flagged: Set[Tuple[str, int]] = set()  # dedup for state breaches
         self._finished = False
 
@@ -201,6 +219,10 @@ class InvariantMonitor:
             self._check_accept(event)
         elif kind == EventKind.ABANDON:
             self._abandoned.add(event.uid)
+        elif kind == EventKind.COLL_CONTRIB:
+            self._check_contribution(event)
+        elif kind == EventKind.COLL_RELEASE:
+            self._check_release(event)
         if 0 <= event.node < len(self._nics):
             self._check_node_state(self._nics[event.node], event)
 
@@ -229,6 +251,38 @@ class InvariantMonitor:
             ))
         else:
             self._last_seq[key] = event.seq
+
+    # ------------------------------------------------- collective checks
+    def _check_contribution(self, event: ObsEvent) -> None:
+        """``seq`` carries the epoch, ``src`` the contributing node (a
+        child of the combiner, or the combiner itself)."""
+        contribs = self._coll_contribs.setdefault((event.node, event.seq), set())
+        if event.src in contribs:
+            self._flag(Violation(
+                "no_double_contribution", event.cycle, event.node,
+                f"node {event.src} contributed twice to epoch {event.seq}",
+                src=event.src, event=event,
+            ))
+        else:
+            contribs.add(event.src)
+
+    def _check_release(self, event: ObsEvent) -> None:
+        """A NIC released epoch ``seq``: every expected contribution
+        (its children plus its own) must already be folded in."""
+        engine = None
+        if 0 <= event.node < len(self._nics):
+            engine = getattr(self._nics[event.node], "collective", None)
+        if engine is None:
+            return
+        expected = len(engine.children) + 1
+        got = self._coll_contribs.pop((event.node, event.seq), set())
+        if len(got) < expected:
+            self._flag(Violation(
+                "release_after_all_arrive", event.cycle, event.node,
+                f"epoch {event.seq} released after {len(got)} of "
+                f"{expected} contributions ({sorted(got)})",
+                event=event,
+            ))
 
     def _order_expected(self, node: int) -> bool:
         """Per-receiver gating: in-order delivery is a checkable guarantee
@@ -360,6 +414,19 @@ class InvariantMonitor:
                 "generated: acks materialised from nowhere",
             ))
         if check_loss:
+            # A completed run must not leave a collective half-combined:
+            # every epoch that was entered must have been released.
+            for nic in self._nics:
+                engine = getattr(nic, "collective", None)
+                if engine is None or not engine.pending_epochs:
+                    continue
+                node = getattr(nic, "node_id", -1)
+                epochs = sorted(engine._epochs)
+                self._flag(Violation(
+                    "collective_completion", cycle, node,
+                    f"epoch(s) {epochs} still hold combining state at "
+                    "run end (collective never released)",
+                ))
             # A completed run must not end with live packets parked in a
             # reorder buffer: everything cached was either delivered (and
             # hence removed) or written off by its sender's abandonment.

@@ -51,3 +51,93 @@ def test_waiting_count():
     barrier = Barrier(sim, parties=2)
     barrier.arrive(0, lambda: None)
     assert barrier.waiting_count == 1
+
+
+class TestMembership:
+    def test_int_parties_means_dense_ids(self):
+        barrier = Barrier(Simulator(), parties=3)
+        assert barrier.members == frozenset((0, 1, 2))
+        assert barrier.parties == 3
+
+    def test_explicit_member_set(self):
+        barrier = Barrier(Simulator(), parties=(0, 3, 7))
+        assert barrier.members == frozenset((0, 3, 7))
+        assert barrier.parties == 3
+
+    def test_stranger_rejected_and_does_not_trip(self):
+        """Regression: a stray node id used to count toward the trip
+        threshold, releasing the real participants one arrival early."""
+        sim = Simulator()
+        barrier = Barrier(sim, parties=(0, 5))
+        released = []
+        barrier.arrive(0, lambda: released.append(0))
+        with pytest.raises(RuntimeError, match="not a member"):
+            barrier.arrive(3, lambda: released.append(3))
+        sim.run()
+        assert released == []  # node 5 never arrived; barrier must not trip
+        assert barrier.waiting_count == 1
+        assert barrier.crossings == 0
+
+    def test_sparse_members_synchronise(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=(2, 9), release_cost=4)
+        released = []
+        sim.schedule(1, barrier.arrive, 9, lambda: released.append((9, sim.now)))
+        sim.schedule(6, barrier.arrive, 2, lambda: released.append((2, sim.now)))
+        sim.run()
+        assert sorted(released) == [(2, 10), (9, 10)]
+
+    def test_empty_member_iterable_rejected(self):
+        with pytest.raises(ValueError):
+            Barrier(Simulator(), parties=())
+
+
+class TestGenerationTagging:
+    def test_rearrival_during_release_window_rejected(self):
+        """Regression for the generation-overlap hazard: a node whose
+        release callback is still queued has not left generation N and
+        must not be counted toward generation N+1."""
+        sim = Simulator()
+        barrier = Barrier(sim, parties=2, release_cost=10)
+        barrier.arrive(0, lambda: None)
+        barrier.arrive(1, lambda: None)  # trips; releases queued for t+10
+        with pytest.raises(RuntimeError, match="release window"):
+            barrier.arrive(0, lambda: None)
+
+    def test_rearrival_from_inside_release_callback_is_legal(self):
+        """A node may re-arrive from within its own release callback even
+        while its peers' callbacks for the same generation are still
+        queued -- that node *has* left generation N."""
+        sim = Simulator()
+        barrier = Barrier(sim, parties=2, release_cost=5)
+        order = []
+
+        def resume0():
+            order.append(("released", 0, sim.now))
+            # peer 1's release for this generation fires later this cycle;
+            # re-arriving here must neither raise nor corrupt it
+            barrier.arrive(0, lambda: order.append(("released2", 0, sim.now)))
+
+        barrier.arrive(0, resume0)
+        barrier.arrive(1, lambda: order.append(("released", 1, sim.now)))
+        sim.run()
+        assert ("released", 0, 5) in order
+        assert ("released", 1, 5) in order  # peer still got its release
+        assert barrier.crossings == 1
+        assert barrier.waiting_count == 1  # node 0 now waits for gen 1
+
+    def test_back_to_back_generations_release_at_distinct_times(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=2, release_cost=3)
+        times = {0: [], 1: []}
+
+        def loop(node, rounds):
+            if rounds:
+                barrier.arrive(node, lambda: (times[node].append(sim.now),
+                                              loop(node, rounds - 1)))
+
+        sim.schedule(0, loop, 0, 2)
+        sim.schedule(0, loop, 1, 2)
+        sim.run()
+        assert times[0] == times[1] == [3, 6]
+        assert barrier.crossings == 2

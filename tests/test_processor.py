@@ -40,7 +40,7 @@ def two_node_setup(nic_cls=PlainNIC, timing=CM5_TIMING, actions0=(), actions1=()
     sim = Simulator()
     net = build_network("mesh2d", sim, 4, rng=RngFactory(0).stream("r"))
     nics = net.attach_nics(lambda n: nic_cls(sim, n))
-    barrier = Barrier(sim, 2, release_cost=timing.barrier_cost)
+    barrier = Barrier(sim, (0, 3), release_cost=timing.barrier_cost)
     d0, d1 = ScriptedDriver(actions0), ScriptedDriver(actions1)
     p0 = Processor(sim, 0, nics[0], d0, timing, barrier=barrier)
     p1 = Processor(sim, 3, nics[3], d1, timing, barrier=barrier)

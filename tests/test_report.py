@@ -166,3 +166,33 @@ class TestWireSequence:
         decoded, dup = wire_decode_sequence(wire, next_expected, window)
         assert decoded == seq
         assert dup == (offset < 0)
+
+    @given(
+        window=st.sampled_from([2, 4, 8, 16]),
+        start=st.integers(min_value=0, max_value=10 ** 6),
+        steps=st.integers(min_value=1, max_value=64),
+    )
+    def test_sliding_window_across_wraparound(self, window, start, steps):
+        """Advance the receiver one delivery at a time through several 2W
+        wraps: the head-of-window seq always decodes live, and the packet
+        just delivered immediately flips to the duplicate branch."""
+        next_expected = start
+        for seq in range(start, start + steps):
+            wire = wire_encode_sequence(seq, window)
+            decoded, dup = wire_decode_sequence(wire, next_expected, window)
+            assert decoded == seq and not dup
+            next_expected += 1  # delivered; a retransmit is now a duplicate
+            decoded, dup = wire_decode_sequence(wire, next_expected, window)
+            assert decoded == seq and dup
+
+    def test_duplicate_branch_covers_exactly_delta_ge_window(self):
+        """Offsets (mod 2W) in [W, 2W) -- and only those -- take the
+        duplicate branch, mapping to the seq delivered within the last W."""
+        window, next_expected = 4, 10
+        for delta in range(2 * window):
+            wire = (next_expected + delta) % (2 * window)
+            decoded, dup = wire_decode_sequence(wire, next_expected, window)
+            if delta < window:
+                assert not dup and decoded == next_expected + delta
+            else:
+                assert dup and decoded == next_expected + delta - 2 * window

@@ -106,7 +106,7 @@ class TestFigureBuilders:
     def test_registry_covers_every_paper_artifact(self):
         names = [spec.name for spec in FIGURES]
         assert names == ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                         "fig8", "fig9", "table2", "table3"]
+                         "fig8", "fig9", "table2", "table3", "collectives"]
 
     def test_missing_record_builds_missing_figure(self):
         for spec in FIGURES:
@@ -135,6 +135,34 @@ class TestFigureBuilders:
         assert any("paper: 4d + 14" in lab for lab in labels)
         assert any("paper: 5d + 2" in lab for lab in labels)
         assert all(check.ok for check in fig.fidelity)
+
+    def test_collectives_builder_checks_and_table(self):
+        spec = next(s for s in FIGURES if s.name == "collectives")
+        fig = spec.build(spec, _bench(spec.bench, {
+            "barrier_latency_mean": {"host": 293.1, "nic": 483.4},
+            "barrier_latency_p99": {"host": 998, "nic": 1210},
+            "barrier_latency_max": {"host": 998, "nic": 1210},
+            "cycles": {"host": 19_000, "nic": 19_000},
+            "violations": {"host": 0, "nic": 0},
+            "collectives": {"coll_completed": 8, "coll_contribs_sent": 120,
+                            "coll_releases_sent": 120, "coll_retransmits": 0,
+                            "coll_duplicates": 0},
+        }))
+        assert not fig.missing
+        assert [s.label for s in fig.series] == ["mean", "p99"]
+        assert fig.categories == ["host", "nic"]
+        assert all(check.ok for check in fig.fidelity)
+        assert fig.table and fig.table[0][0] == "barrier"
+
+    def test_collectives_builder_flags_violations(self):
+        spec = next(s for s in FIGURES if s.name == "collectives")
+        fig = spec.build(spec, _bench(spec.bench, {
+            "barrier_latency_mean": {"host": 300.0, "nic": 500.0},
+            "barrier_latency_p99": {"host": 900, "nic": 1100},
+            "violations": {"host": 0, "nic": 2},
+        }))
+        first = fig.fidelity[0]
+        assert not first.ok and first.measured == 2.0
 
     def test_fidelity_delta_sign(self):
         spec = next(s for s in FIGURES if s.name == "table2")

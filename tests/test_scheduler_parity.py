@@ -18,9 +18,11 @@ import json
 import pytest
 
 from repro.experiments import ExperimentSpec, run_experiment
+from repro.nic import CollectiveParams
 from repro.obs import Observability, metrics_json
 from repro.sim import scheduler_names
 from repro.traffic import (
+    AllReduceConfig,
     CrashPointConfig,
     CShiftConfig,
     Em3dConfig,
@@ -62,6 +64,12 @@ WORKLOADS = {
     "rpc": dict(
         traffic=TrafficSpec("rpc", RpcFanoutConfig(rounds=2, fanout=4, reply_packets=2)),
     ),
+    # NIC-offloaded combining tree: barriers/reductions become protocol
+    # traffic, the collective-parity case the offload feature demands.
+    "allreduce": dict(
+        traffic=TrafficSpec("allreduce", AllReduceConfig(rounds=3)),
+        collective_params=CollectiveParams(barrier="nic"),
+    ),
     # Disarmed (after_packets == packets): runs as a clean pair stream.
     "crashpoint": dict(
         traffic=TrafficSpec(
@@ -95,6 +103,7 @@ def _canonical_metrics(name: str, kernel: str) -> str:
         max_cycles=300_000,
         seed=7,
         kernel=kernel,
+        collective_params=cfg.get("collective_params"),
         observe=Observability(events=True),
     )
     result = run_experiment(spec)

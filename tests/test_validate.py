@@ -8,6 +8,7 @@ from repro.nic import NifdyNIC, NifdyParams, ReorderParams, ReorderTolerantNIC
 from repro.obs import EventBus, EventKind, Observability
 from repro.sim import Simulator
 from repro.traffic import (
+    AllReduceConfig,
     CrashPointConfig,
     CShiftConfig,
     Em3dConfig,
@@ -35,6 +36,9 @@ _SMALL_CONFIGS = {
     "pairstream": PairStreamConfig(packets=40, bulk=True),
     "incast": IncastConfig(rounds=2, packets_per_round=4),
     "rpc": RpcFanoutConfig(rounds=2, fanout=4, reply_packets=2),
+    # Host-combine by default here; the NIC-offloaded variant has its own
+    # dedicated coverage in tests/test_collectives.py.
+    "allreduce": AllReduceConfig(rounds=3),
     # Disarmed (after_packets == packets): a clean pair stream.
     "crashpoint": CrashPointConfig(packets=40, after_packets=40),
 }
@@ -230,7 +234,9 @@ class TestBrokenNic:
         covered = {
             "exactly_once", "in_order", "opt_bound", "pool_bound",
             "dialog_bound", "window_bound", "ack_conservation",
-            "no_silent_loss", "reorder_window_bound", "bitmap_conservation",
+            "no_silent_loss", "no_double_contribution",
+            "release_after_all_arrive", "collective_completion",
+            "reorder_window_bound", "bitmap_conservation",
             "no_cache_leak",
         }
         assert covered == set(INVARIANTS)
@@ -244,6 +250,79 @@ class TestBrokenNic:
         bus.emit_packet(20, EventKind.ACCEPT, 1, packet)
         payload = json.dumps([v.to_dict() for v in monitor.violations])
         assert "exactly_once" in payload
+
+
+# ---------------------------------------------------------------------------
+# Broken collectives: fake combining-tree events (and a stub engine) and
+# prove the collective invariants actually fire.
+# ---------------------------------------------------------------------------
+
+class _StubEngine:
+    def __init__(self, children, pending=()):
+        self.children = list(children)
+        self._epochs = {e: object() for e in pending}
+
+    @property
+    def pending_epochs(self):
+        return len(self._epochs)
+
+
+class _StubCollectiveNic:
+    def __init__(self, node_id, engine):
+        self.node_id = node_id
+        self.collective = engine
+        self.obs = None
+
+
+class TestBrokenCollectives:
+    def _rig(self, engine):
+        bus = EventBus()
+        nics = [_StubCollectiveNic(0, engine)]
+        monitor = InvariantMonitor().attach(bus, nics)
+        return bus, monitor
+
+    def test_double_contribution_fires(self):
+        bus, monitor = self._rig(_StubEngine(children=[1, 2]))
+        bus.emit(10, EventKind.COLL_CONTRIB, 0, src=1, seq=0)
+        bus.emit(20, EventKind.COLL_CONTRIB, 0, src=1, seq=0)
+        assert [v.invariant for v in monitor.violations] == [
+            "no_double_contribution"
+        ]
+
+    def test_same_child_across_epochs_is_fine(self):
+        bus, monitor = self._rig(_StubEngine(children=[1, 2]))
+        bus.emit(10, EventKind.COLL_CONTRIB, 0, src=1, seq=0)
+        bus.emit(20, EventKind.COLL_CONTRIB, 0, src=1, seq=1)
+        assert monitor.ok
+
+    def test_early_release_fires(self):
+        bus, monitor = self._rig(_StubEngine(children=[1, 2]))
+        bus.emit(10, EventKind.COLL_CONTRIB, 0, src=0, seq=0)
+        bus.emit(20, EventKind.COLL_CONTRIB, 0, src=1, seq=0)
+        # child 2 never contributed, yet the node releases.
+        bus.emit(30, EventKind.COLL_RELEASE, 0, src=0, seq=0)
+        assert [v.invariant for v in monitor.violations] == [
+            "release_after_all_arrive"
+        ]
+
+    def test_complete_release_is_clean(self):
+        bus, monitor = self._rig(_StubEngine(children=[1, 2]))
+        for src in (0, 1, 2):
+            bus.emit(10, EventKind.COLL_CONTRIB, 0, src=src, seq=0)
+        bus.emit(30, EventKind.COLL_RELEASE, 0, src=0, seq=0)
+        assert monitor.ok
+
+    def test_pending_epoch_at_run_end_fires(self):
+        bus, monitor = self._rig(_StubEngine(children=[1], pending=(3,)))
+        monitor.finish(check_loss=True, cycle=100)
+        assert [v.invariant for v in monitor.violations] == [
+            "collective_completion"
+        ]
+
+    def test_pending_epoch_skipped_for_truncated_runs(self):
+        bus, monitor = self._rig(_StubEngine(children=[1], pending=(3,)))
+        monitor.finish(check_loss=False, cycle=100)
+        assert monitor.ok
 
 
 # ---------------------------------------------------------------------------
